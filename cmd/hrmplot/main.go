@@ -1,0 +1,75 @@
+// Command hrmplot renders Hierarchical Roofline Model plots (Figs. 4-5
+// style) for a hardware setting and model, as ASCII log-log charts.
+//
+// Usage:
+//
+//	hrmplot -fig 4          # attention block (Fig. 4)
+//	hrmplot -fig 5          # MoE FFN block (Fig. 5)
+//	hrmplot -setting S1 -model mixtral-8x7b -op attention -ctx 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"moelightning/internal/experiments"
+	"moelightning/internal/hardware"
+	"moelightning/internal/model"
+	"moelightning/internal/roofline"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "reproduce a paper figure directly (4 or 5)")
+	settingName := flag.String("setting", "S2", "hardware setting")
+	modelName := flag.String("model", "mixtral-8x7b", "model preset")
+	op := flag.String("op", "attention", "operator: attention or ffn")
+	ctx := flag.Int("ctx", 512, "context length (attention)")
+	mu := flag.Int("mu", 128, "micro-batch size (ffn)")
+	n := flag.Int("n", 1024, "batch size (ffn)")
+	flag.Parse()
+
+	switch *fig {
+	case 4:
+		fmt.Print(experiments.Figure4().Render())
+		return
+	case 5:
+		fmt.Print(experiments.Figure5().Render())
+		return
+	}
+
+	spec, ok := hardware.Presets()[*settingName]
+	if !ok {
+		fatal(fmt.Errorf("unknown setting %q", *settingName))
+	}
+	cfg, ok := model.Presets()[*modelName]
+	if !ok {
+		fatal(fmt.Errorf("unknown model %q", *modelName))
+	}
+	h := roofline.FromSpec(spec)
+
+	var o roofline.Op
+	switch *op {
+	case "attention":
+		o = roofline.AttentionOp(cfg, *ctx, cfg.KVDType)
+	case "ffn":
+		o = roofline.FFNOp(cfg, *n, *mu)
+	default:
+		fatal(fmt.Errorf("unknown op %q", *op))
+	}
+
+	figure := experiments.HRMFigure{
+		Title: fmt.Sprintf("HRM: %s %s on %s", cfg.Name, o.Name, spec.Name),
+		HRM:   h,
+		Roofs: h.Roofs(0.1, 1e4, 64),
+		Ops:   []roofline.Op{o},
+		P1:    h.P1At(o),
+		P2:    h.P2At(o.IUpper),
+	}
+	fmt.Print(figure.Render())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hrmplot:", err)
+	os.Exit(1)
+}

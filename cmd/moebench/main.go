@@ -1,0 +1,140 @@
+// Command moebench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	moebench -exp fig7 [-settings S1,S2] [-gens 32,64,128,256]
+//	moebench -exp tab4 | tab5 | fig1 | fig4 | fig5 | fig6 | fig8 | fig9 | fig10
+//	moebench -exp all
+//
+// Each experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"moelightning/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: fig1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,tab4,tab5,disk,quant,sparsity,latency,all")
+	settings := flag.String("settings", "S1,S2,S6,S7", "comma-separated settings for fig7")
+	gens := flag.String("gens", "32,64,128,256", "comma-separated generation lengths")
+	flag.Parse()
+
+	genLens, err := parseInts(*gens)
+	if err != nil {
+		fatal(err)
+	}
+	settingNames := strings.Split(*settings, ",")
+
+	run := func(id string) error {
+		switch id {
+		case "fig1":
+			pts := experiments.Figure1([]float64{100, 112, 128, 160, 192, 224, 256, 320})
+			fmt.Print(experiments.RenderFigure1(pts))
+		case "fig4":
+			fmt.Print(experiments.Figure4().Render())
+		case "fig5":
+			fmt.Print(experiments.Figure5().Render())
+		case "fig6":
+			rs, err := experiments.Figure6(4, 4)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderFigure6(rs))
+		case "fig7":
+			rows, err := experiments.Figure7(settingNames, genLens)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderFigure7(rows))
+		case "fig8":
+			rows, err := experiments.Figure8(genLens)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderFigure8(rows))
+		case "fig9":
+			cells, err := experiments.Figure9([]int{32, 64, 128, 256}, []int{128, 256, 512, 1024, 2048})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderFigure9(cells))
+		case "fig10":
+			cells := experiments.Figure10(
+				[]float64{1, 2, 4, 6, 8, 10},
+				[]float64{100, 200, 300, 400, 500})
+			fmt.Print(experiments.RenderFigure10(cells))
+		case "disk":
+			rows := experiments.DiskOffload([]float64{32, 48, 64, 96, 128, 192})
+			fmt.Print(experiments.RenderDiskOffload(rows))
+		case "quant":
+			rows := experiments.Quantization()
+			fmt.Print(experiments.RenderQuantization(rows))
+		case "latency":
+			rows := experiments.LatencyRegime([]int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512})
+			fmt.Print(experiments.RenderLatencyRegime(rows))
+		case "sparsity":
+			rows, err := experiments.KVSparsity([]float64{1, 0.5, 0.25, 0.125})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderKVSparsity(rows))
+		case "tab4":
+			rows, err := experiments.Table4()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderTable4(rows))
+		case "tab5":
+			rows, err := experiments.Table5()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderTable5(rows))
+			opt, err := experiments.Table5Optimized()
+			if err != nil {
+				return err
+			}
+			fmt.Println()
+			fmt.Print(experiments.RenderTable5(opt))
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		return nil
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "tab4", "tab5", "disk", "quant", "sparsity", "latency"}
+	}
+	for _, id := range ids {
+		fmt.Printf("==== %s ====\n", id)
+		if err := run(id); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "moebench:", err)
+	os.Exit(1)
+}

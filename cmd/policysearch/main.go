@@ -1,0 +1,86 @@
+// Command policysearch runs the HRM-based policy optimizer for a model,
+// hardware setting and workload, printing the chosen policy, the memory
+// footprints and the estimated vs simulated throughput.
+//
+// Usage:
+//
+//	policysearch -model mixtral-8x7b -setting S1 -workload mtbench -gen 128 [-padded]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"moelightning/internal/experiments"
+	"moelightning/internal/hardware"
+	"moelightning/internal/model"
+	"moelightning/internal/perfmodel"
+	"moelightning/internal/policy"
+	"moelightning/internal/workload"
+)
+
+func main() {
+	modelName := flag.String("model", "mixtral-8x7b", "model preset: mixtral-8x7b, mixtral-8x22b, dbrx, tiny")
+	settingName := flag.String("setting", "S1", "hardware setting: S1,S2,S6,S7,S8,S9,2xA100")
+	workloadName := flag.String("workload", "mtbench", "workload preset: mtbench, reasoning, summarize")
+	gen := flag.Int("gen", 128, "generation length (mtbench only)")
+	padded := flag.Bool("padded", false, "pad requests to the maximum prompt length")
+	flag.Parse()
+
+	m, ok := model.Presets()[*modelName]
+	if !ok {
+		fatal(fmt.Errorf("unknown model %q", *modelName))
+	}
+	spec, ok := hardware.Presets()[*settingName]
+	if !ok {
+		fatal(fmt.Errorf("unknown setting %q", *settingName))
+	}
+	w, ok := workload.Presets()[*workloadName]
+	if !ok {
+		fatal(fmt.Errorf("unknown workload %q", *workloadName))
+	}
+	if *workloadName == "mtbench" {
+		w = w.WithGenLen(*gen)
+	}
+
+	in := perfmodel.Input{Model: m, Spec: spec, Workload: w, Padded: *padded}
+	fmt.Println("model:   ", m)
+	fmt.Println("hardware:", spec)
+	fmt.Printf("workload: %s (avg prompt %d, gen %d, padded=%v)\n\n", w.Name, w.AvgPrompt, w.GenLen, *padded)
+
+	res, err := policy.Optimize(in)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("policy:    %v\n", res.Policy)
+	fmt.Printf("searched:  %d candidates (%d feasible)\n", res.Evaluated, res.Feasible)
+	fmt.Printf("estimated: %.2f tok/s (bottleneck: %s)\n", res.Report.TokensPerSecond, res.Report.Bottleneck)
+
+	e, err := perfmodel.New(in)
+	if err != nil {
+		fatal(err)
+	}
+	g, c := e.GPUMem(res.Policy), e.CPUMem(res.Policy)
+	fmt.Printf("GPU memory: %.1f GiB of %.1f (weights %.1f, buffer %.1f, kv %.1f, act %.1f, emb %.1f)\n",
+		gib(g.Total()), gib(spec.TotalGPUMem()), gib(g.Weights), gib(g.WeightBuffer),
+		gib(g.KVCache), gib(g.Activations), gib(g.Embeddings))
+	fmt.Printf("CPU memory: %.1f GiB of %.1f (weights %.1f, staging %.1f, kv %.1f)\n",
+		gib(c.Total()), gib(spec.CPU.MemBytes), gib(c.Weights), gib(c.WeightBuffer), gib(c.KVCache))
+
+	sys := experiments.MoELightning()
+	sys.Padded = *padded
+	mes := experiments.RunPolicy(sys, in, res.Policy)
+	if mes.Failed() {
+		fatal(mes.Err)
+	}
+	fmt.Printf("simulated: %.2f tok/s (prefill %.0fs + decode %.0fs for %d tokens)\n",
+		mes.TokensPerSecond, mes.PrefillSeconds, mes.DecodeSeconds, mes.GeneratedTokens)
+}
+
+func gib(b int64) float64 { return float64(b) / (1 << 30) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "policysearch:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command simtrace simulates one decode step under each scheduling
+// strategy and prints ASCII Gantt charts — a textual Fig. 6.
+//
+// Usage:
+//
+//	simtrace [-setting S1] [-layers 4] [-mb 4] [-strategy cgopipe]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"moelightning/internal/experiments"
+	"moelightning/internal/metrics"
+	"moelightning/internal/perfmodel"
+	"moelightning/internal/policy"
+	"moelightning/internal/schedule"
+	"moelightning/internal/sim"
+	"moelightning/internal/workload"
+)
+
+func main() {
+	settingName := flag.String("setting", "S1", "hardware setting (S1,S2,S6,S7,S8,S9)")
+	layers := flag.Int("layers", 4, "layers to trace")
+	mb := flag.Int("mb", 4, "micro-batches to trace")
+	strategy := flag.String("strategy", "", "trace a single strategy (cgopipe, s2-overlap, s3-serialcpu, s4-gpuattn, serial); empty = all of Fig. 6")
+	width := flag.Int("width", 100, "chart width")
+	flag.Parse()
+
+	if *strategy == "" && *settingName == "S1" {
+		rs, err := experiments.Figure6(*layers, *mb)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.RenderFigure6(rs))
+		return
+	}
+
+	setting, err := experiments.Lookup(*settingName)
+	if err != nil {
+		fatal(err)
+	}
+	in := setting.Input(workload.MTBench(128))
+	in.Padded = true
+	e, err := perfmodel.New(in)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := policy.Optimize(in)
+	if err != nil {
+		fatal(err)
+	}
+	plan := schedule.PlanFor(e, res.Policy, in.MidContext())
+	plan.Layers = *layers
+	plan.MicroBatches = *mb
+	plan.D.WeightPage = plan.D.WeightWhole / float64(*mb)
+	plan.D.PinPage = plan.D.PinWhole / float64(*mb)
+
+	strategies := schedule.Strategies()
+	if *strategy != "" {
+		strategies = []schedule.Strategy{schedule.Strategy(*strategy)}
+	}
+	for _, s := range strategies {
+		tasks, err := schedule.Build(s, plan)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := sim.Run(tasks)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(metrics.Gantt(string(s), r, *width))
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simtrace:", err)
+	os.Exit(1)
+}

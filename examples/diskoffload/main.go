@@ -1,0 +1,27 @@
+// DiskOffload: the §C extension. When CPU DRAM cannot hold the whole
+// model (e.g. 48 GB of RAM for an ~87 GiB Mixtral 8x7B), an NVMe tier
+// keeps the system alive: the optimizer splits weights across GPU, DRAM
+// and disk (r_w / r_d) and streams the cold share disk -> pinned -> GPU
+// inside the CGOPipe pipeline.
+package main
+
+import (
+	"fmt"
+
+	"moelightning/internal/experiments"
+)
+
+func main() {
+	rows := experiments.DiskOffload([]float64{32, 48, 64, 96, 128, 192})
+	fmt.Print(experiments.RenderDiskOffload(rows))
+
+	fmt.Println("\nReading the table:")
+	fmt.Println(" - below ~87 GiB of DRAM the model is infeasible without a disk;")
+	fmt.Println(" - with NVMe, throughput degrades gracefully as r_d grows (the disk")
+	fmt.Println("   lane becomes the new roof in the three-level HRM);")
+	fmt.Println(" - even at 192 GiB, spilling a cold weight share to disk frees DRAM")
+	fmt.Println("   for KV cache and lets the optimizer run a larger batch.")
+
+	fmt.Println("\nQuantization interacts with the same roofs:")
+	fmt.Print(experiments.RenderQuantization(experiments.Quantization()))
+}

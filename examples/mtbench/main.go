@@ -1,0 +1,48 @@
+// MTBench reproduction: the paper's Fig. 7 end-to-end comparison on the
+// single-GPU settings — all five systems (FlexGen, FlexGen(c),
+// DeepSpeed, MoE-Lightning(p), MoE-Lightning) across generation lengths
+// on S1 and S2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"moelightning/internal/experiments"
+)
+
+func main() {
+	rows, err := experiments.Figure7([]string{"S1", "S2"}, []int{32, 64, 128, 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderFigure7(rows))
+
+	// Speedups like the paper's headline claims.
+	best := map[string]map[int]map[string]float64{}
+	for _, r := range rows {
+		if best[r.Setting] == nil {
+			best[r.Setting] = map[int]map[string]float64{}
+		}
+		if best[r.Setting][r.GenLen] == nil {
+			best[r.Setting][r.GenLen] = map[string]float64{}
+		}
+		if !r.Failed() {
+			best[r.Setting][r.GenLen][r.System] = r.TokensPerSecond
+		}
+	}
+	fmt.Println("Speedups of MoE-Lightning(p) over the best baseline:")
+	for _, s := range []string{"S1", "S2"} {
+		for _, g := range []int{32, 64, 128, 256} {
+			m := best[s][g]
+			baseline := m["FlexGen"]
+			for _, sys := range []string{"FlexGen(c)", "DeepSpeed"} {
+				if m[sys] > baseline {
+					baseline = m[sys]
+				}
+			}
+			fmt.Printf("  %s gen=%-4d %.2fx padded, %.2fx unpadded\n",
+				s, g, m["MoE-Lightning(p)"]/baseline, m["MoE-Lightning"]/baseline)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Quickstart: plan a policy for Mixtral 8x7B on a single 16 GB T4 with
+// the HRM-based optimizer, then simulate an end-to-end MTBench batch
+// inference run under CGOPipe — the paper's S1 headline setting.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"moelightning"
+)
+
+func main() {
+	sys, err := moelightning.New(moelightning.Config{
+		Model:    moelightning.Mixtral8x7B(),
+		Hardware: moelightning.SettingS1(),
+		Workload: moelightning.MTBench(128),
+		Padded:   true, // FlexGen-comparable "(p)" mode
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plan, err := sys.Plan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== policy search ==")
+	fmt.Printf("policy:     %v\n", plan.Policy)
+	fmt.Printf("estimated:  %.1f tok/s (bottleneck: %s)\n", plan.EstimatedTokensPerSecond, plan.Bottleneck)
+	fmt.Printf("searched:   %d candidates, %d feasible\n\n", plan.Searched, plan.Feasible)
+
+	res, err := sys.Simulate(plan.Policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== simulated run ==")
+	fmt.Printf("throughput: %.1f tok/s (%d tokens in %.0fs prefill + %.0fs decode)\n",
+		res.TokensPerSecond, res.GeneratedTokens, res.PrefillSeconds, res.DecodeSeconds)
+	fmt.Printf("decode-step lane utilization: GPU %.0f%%, CPU %.0f%%, HtoD %.0f%%\n\n",
+		100*res.Utilization["GPU"], 100*res.Utilization["CPU"], 100*res.Utilization["HtoD"])
+
+	trace, err := sys.DecodeTrace(plan.Policy, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== decode-step schedule (CGOPipe) ==")
+	fmt.Print(trace)
+}

@@ -1,0 +1,50 @@
+// TensorParallel: the paper's §4.3/§5.3 scaling study. Runs Mixtral
+// 8x22B and DBRX on 2x and 4x T4 GPUs with tensor parallelism and shows
+// the super-linear decode scaling that extra aggregate GPU memory buys
+// (a larger static weight fraction r_w means fewer bytes streamed per
+// layer), compared against FlexGen's pipeline parallelism which gains
+// almost nothing within one node.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"moelightning/internal/experiments"
+)
+
+func main() {
+	// Fig. 8: DBRX, MoE-Lightning with all optimizations.
+	rows, err := experiments.Figure8([]int{32, 64, 128, 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderFigure8(rows))
+
+	// Fig. 7's S6/S7 columns: Mixtral 8x22B, all systems, showing who
+	// scales and who does not.
+	fmt.Println("\nMixtral 8x22B, MTBench gen=128 (tokens/s):")
+	f7, err := experiments.Figure7([]string{"S6", "S7"}, []int{128})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tps := map[string]map[string]float64{}
+	var policies = map[string]string{}
+	for _, r := range f7 {
+		if tps[r.System] == nil {
+			tps[r.System] = map[string]float64{}
+		}
+		if !r.Failed() {
+			tps[r.System][r.Setting] = r.TokensPerSecond
+			policies[r.System+r.Setting] = r.Policy.String()
+		}
+	}
+	for _, sys := range []string{"FlexGen", "DeepSpeed", "MoE-Lightning(p)"} {
+		two, four := tps[sys]["S6"], tps[sys]["S7"]
+		fmt.Printf("  %-18s 2xT4 %7.2f -> 4xT4 %7.2f  (%.2fx)\n", sys, two, four, four/two)
+	}
+	fmt.Println("\nMoE-Lightning policies (note r_w growing with GPU count):")
+	for _, s := range []string{"S6", "S7"} {
+		fmt.Printf("  %s: %s\n", s, policies["MoE-Lightning(p)"+s])
+	}
+}

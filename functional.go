@@ -1,0 +1,137 @@
+package moelightning
+
+import (
+	"fmt"
+
+	"moelightning/internal/engine"
+	"moelightning/internal/memory"
+	"moelightning/internal/workload"
+)
+
+// Request is one inference request (prompt length + generation length).
+type Request = workload.Request
+
+// FunctionalOptions parameterizes a functional-engine run: a real
+// (tiny-scale) MoE transformer executing CGOPipe with one goroutine per
+// hardware lane over explicit memory arenas.
+type FunctionalOptions struct {
+	// Seed makes the synthetic weights deterministic.
+	Seed int64
+	// MicroBatchSize and NumMicroBatches shape each serving wave
+	// (Alg. 2 batching); defaults 2 and 2.
+	MicroBatchSize  int
+	NumMicroBatches int
+	// GenLen is tokens to generate per request; default 8.
+	GenLen int
+	// MaxContext bounds any sequence; default 128.
+	MaxContext int
+	// Verify re-runs every request on the sequential reference engine
+	// and errors out on any token mismatch.
+	Verify bool
+}
+
+func (o *FunctionalOptions) defaults() {
+	if o.MicroBatchSize <= 0 {
+		o.MicroBatchSize = 2
+	}
+	if o.NumMicroBatches <= 0 {
+		o.NumMicroBatches = 2
+	}
+	if o.GenLen <= 0 {
+		o.GenLen = 8
+	}
+	if o.MaxContext <= 0 {
+		o.MaxContext = 128
+	}
+}
+
+// FunctionalResult reports a functional run.
+type FunctionalResult struct {
+	// Outputs maps request ID to generated token IDs.
+	Outputs map[int][]int
+	// Waves is how many pipeline rounds served the queue.
+	Waves int
+	// HtoDFloats / DtoHFloats / PagesMoved account the data movement
+	// the pipeline performed (float32 units / page count).
+	HtoDFloats, DtoHFloats, PagesMoved int64
+	// Verified is true when the reference cross-check ran and matched.
+	Verified bool
+}
+
+// RunFunctional serves a request queue through the functional CGOPipe
+// engine at tiny scale. Use TinyMoE() (or a similarly small config) —
+// this executes real float32 math, so full-size configs are
+// intentionally not supported.
+func RunFunctional(cfg ModelConfig, requests []Request, opts FunctionalOptions) (FunctionalResult, error) {
+	opts.defaults()
+	if err := cfg.Validate(); err != nil {
+		return FunctionalResult{}, err
+	}
+	if cfg.TotalParams() > 50_000_000 {
+		return FunctionalResult{}, fmt.Errorf("moelightning: %s has %d parameters; the functional engine is for tiny configs (use TinyMoE)",
+			cfg.Name, cfg.TotalParams())
+	}
+	if len(requests) == 0 {
+		return FunctionalResult{}, fmt.Errorf("moelightning: empty request queue")
+	}
+
+	layerFloats := engine.NewLayout(cfg).LayerFloats()
+	waveSeqs := opts.MicroBatchSize * opts.NumMicroBatches
+	cpu := memory.NewArena("cpu", cfg.Layers*layerFloats+4<<20)
+	gpu := memory.NewArena("gpu", 2*layerFloats+4<<20)
+	pinned := memory.NewArena("pinned", 2*layerFloats+4<<20)
+	cacheArena := memory.NewArena("kvcache", 2*waveSeqs*opts.MaxContext*cfg.KVDim()*2+4<<20)
+
+	w, err := engine.NewRandomWeights(cpu, cfg, opts.Seed)
+	if err != nil {
+		return FunctionalResult{}, err
+	}
+	res, err := engine.Serve(w, gpu, pinned, cacheArena, requests, engine.ServeConfig{
+		NumMicroBatches: opts.NumMicroBatches,
+		MicroBatchSize:  opts.MicroBatchSize,
+		GenLen:          opts.GenLen,
+		CacheTokens:     opts.MicroBatchSize * opts.MaxContext,
+		MaxContext:      opts.MaxContext,
+	})
+	if err != nil {
+		return FunctionalResult{}, err
+	}
+
+	out := FunctionalResult{
+		Outputs:    res.Outputs,
+		Waves:      res.Waves,
+		HtoDFloats: res.HtoDFloats,
+		DtoHFloats: res.DtoHFloats,
+		PagesMoved: res.PagesMoved,
+	}
+	if opts.Verify {
+		prompts := engine.PromptsFromRequests(requests, cfg.VocabSize)
+		ref, err := engine.NewReference(w, memory.NewArena("ref", cacheArena.Capacity()), len(requests), opts.MaxContext)
+		if err != nil {
+			return out, err
+		}
+		want, err := ref.Generate(prompts, opts.GenLen)
+		if err != nil {
+			return out, err
+		}
+		for i, r := range requests {
+			if !equalInts(out.Outputs[r.ID], want[i]) {
+				return out, fmt.Errorf("moelightning: request %d diverged from the reference", r.ID)
+			}
+		}
+		out.Verified = true
+	}
+	return out, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

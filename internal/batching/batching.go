@@ -1,0 +1,134 @@
+// Package batching implements the paper's request-batching algorithm
+// (Appendix A.2, Alg. 2): requests sorted by input length descending are
+// dealt to the micro-batch partition with the fewest tokens, keeping all
+// micro-batches near the policy's μ while respecting a per-micro-batch
+// KV cache budget; requests that cannot fit are deferred to the next
+// batch.
+package batching
+
+import (
+	"fmt"
+	"sort"
+
+	"moelightning/internal/workload"
+)
+
+// Config parameterizes one batching round.
+type Config struct {
+	// NumMicroBatches is n_ub: how many micro-batches to form.
+	NumMicroBatches int
+	// MicroBatchSize is ubs: the maximum requests per micro-batch.
+	MicroBatchSize int
+	// GenLen is the generation length each request will run.
+	GenLen int
+	// CacheTokens is the KV capacity per micro-batch in tokens
+	// (cache_size in Alg. 2).
+	CacheTokens int
+}
+
+// Validate reports malformed configs.
+func (c Config) Validate() error {
+	if c.NumMicroBatches <= 0 || c.MicroBatchSize <= 0 {
+		return fmt.Errorf("batching: non-positive sizes n_ub=%d ubs=%d", c.NumMicroBatches, c.MicroBatchSize)
+	}
+	if c.GenLen < 0 || c.CacheTokens <= 0 {
+		return fmt.Errorf("batching: invalid genlen=%d cache=%d", c.GenLen, c.CacheTokens)
+	}
+	return nil
+}
+
+// MicroBatch is one formed micro-batch.
+type MicroBatch struct {
+	Requests []workload.Request
+	// PromptTokens is the total prompt length of the micro-batch.
+	PromptTokens int
+}
+
+// Tokens is the total final token count (prompt + generation).
+func (m MicroBatch) Tokens(genLen int) int {
+	return m.PromptTokens + len(m.Requests)*genLen
+}
+
+// Batch partitions the queue per Alg. 2, returning the formed
+// micro-batches and the requests deferred to the next round. The input
+// queue is not modified.
+func Batch(queue []workload.Request, cfg Config) (batches []MicroBatch, aborted []workload.Request, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	// partitions under construction, and their token sums (Alg. 2 l.1-3).
+	parts := make([][]workload.Request, cfg.NumMicroBatches)
+	sums := make([]int, cfg.NumMicroBatches)
+	live := make([]int, 0, cfg.NumMicroBatches) // indices of open partitions
+	for i := range parts {
+		parts[i] = make([]workload.Request, 0, cfg.MicroBatchSize)
+		live = append(live, i)
+	}
+
+	sorted := append([]workload.Request(nil), queue...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].PromptLen > sorted[j].PromptLen // descending (l.4)
+	})
+
+	for _, req := range sorted {
+		if len(live) == 0 {
+			aborted = append(aborted, req) // l.6-7
+			continue
+		}
+		// argmin over open partitions (l.8).
+		idx := live[0]
+		for _, i := range live[1:] {
+			if sums[i] < sums[idx] {
+				idx = i
+			}
+		}
+		// Capacity check (l.9): prompt tokens so far + this prompt +
+		// generation room for every request including this one.
+		if sums[idx]+req.PromptLen+(1+len(parts[idx]))*cfg.GenLen > cfg.CacheTokens {
+			aborted = append(aborted, req) // l.10
+			continue
+		}
+		parts[idx] = append(parts[idx], req) // l.12-13
+		sums[idx] += req.PromptLen
+		if len(parts[idx]) == cfg.MicroBatchSize { // l.14-18
+			batches = append(batches, MicroBatch{Requests: parts[idx], PromptTokens: sums[idx]})
+			live = remove(live, idx)
+		}
+	}
+	// Flush partially filled partitions in index order.
+	for _, i := range live {
+		if len(parts[i]) > 0 {
+			batches = append(batches, MicroBatch{Requests: parts[i], PromptTokens: sums[i]})
+		}
+	}
+	return batches, aborted, nil
+}
+
+func remove(xs []int, v int) []int {
+	out := xs[:0]
+	for _, x := range xs {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Spread reports the imbalance of the formed micro-batches: the max
+// minus min total prompt tokens across batches, the quantity Alg. 2
+// minimizes greedily.
+func Spread(batches []MicroBatch) int {
+	if len(batches) == 0 {
+		return 0
+	}
+	min, max := batches[0].PromptTokens, batches[0].PromptTokens
+	for _, b := range batches[1:] {
+		if b.PromptTokens < min {
+			min = b.PromptTokens
+		}
+		if b.PromptTokens > max {
+			max = b.PromptTokens
+		}
+	}
+	return max - min
+}

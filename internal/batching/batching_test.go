@@ -1,0 +1,193 @@
+package batching
+
+import (
+	"testing"
+	"testing/quick"
+
+	"moelightning/internal/workload"
+)
+
+func reqs(lens ...int) []workload.Request {
+	out := make([]workload.Request, len(lens))
+	for i, l := range lens {
+		out[i] = workload.Request{ID: i, PromptLen: l, GenLen: 8}
+	}
+	return out
+}
+
+func TestBalancedPartition(t *testing.T) {
+	cfg := Config{NumMicroBatches: 2, MicroBatchSize: 2, GenLen: 0, CacheTokens: 1000}
+	batches, aborted, err := Batch(reqs(100, 90, 10, 20), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aborted) != 0 {
+		t.Fatalf("aborted %v", aborted)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("%d batches", len(batches))
+	}
+	// Greedy: 100->A, 90->B, 20->B(110), 10->A(110): perfectly balanced.
+	if Spread(batches) != 0 {
+		t.Errorf("spread = %d, want 0 (batches: %+v)", Spread(batches), batches)
+	}
+}
+
+func TestCacheOverflowAborts(t *testing.T) {
+	cfg := Config{NumMicroBatches: 1, MicroBatchSize: 4, GenLen: 10, CacheTokens: 150}
+	batches, aborted, err := Batch(reqs(100, 100), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First request: 100 + 1*10 = 110 <= 150 fits; second: 100+100+2*10
+	// = 220 > 150 aborts.
+	if len(batches) != 1 || len(batches[0].Requests) != 1 {
+		t.Fatalf("batches: %+v", batches)
+	}
+	if len(aborted) != 1 {
+		t.Fatalf("aborted: %+v", aborted)
+	}
+}
+
+func TestFullPartitionsClose(t *testing.T) {
+	cfg := Config{NumMicroBatches: 1, MicroBatchSize: 2, GenLen: 1, CacheTokens: 1000}
+	batches, aborted, err := Batch(reqs(10, 10, 10), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two fill the only partition; the third has nowhere to go.
+	if len(batches) != 1 || len(batches[0].Requests) != 2 {
+		t.Fatalf("batches: %+v", batches)
+	}
+	if len(aborted) != 1 {
+		t.Fatalf("aborted: %+v", aborted)
+	}
+}
+
+func TestSortDescendingAssignment(t *testing.T) {
+	// Longest requests place first (Alg. 2 line 4): with two partitions
+	// the two longest must land in different micro-batches.
+	cfg := Config{NumMicroBatches: 2, MicroBatchSize: 2, GenLen: 0, CacheTokens: 10000}
+	batches, _, err := Batch(reqs(500, 490, 5, 5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		has500, has490 := false, false
+		for _, r := range b.Requests {
+			if r.PromptLen == 500 {
+				has500 = true
+			}
+			if r.PromptLen == 490 {
+				has490 = true
+			}
+		}
+		if has500 && has490 {
+			t.Fatal("two longest requests share a micro-batch")
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{NumMicroBatches: 0, MicroBatchSize: 1, CacheTokens: 1},
+		{NumMicroBatches: 1, MicroBatchSize: 0, CacheTokens: 1},
+		{NumMicroBatches: 1, MicroBatchSize: 1, CacheTokens: 0},
+		{NumMicroBatches: 1, MicroBatchSize: 1, GenLen: -1, CacheTokens: 1},
+	}
+	for i, cfg := range bad {
+		if _, _, err := Batch(nil, cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	in := reqs(5, 50, 10)
+	cfg := Config{NumMicroBatches: 2, MicroBatchSize: 2, GenLen: 1, CacheTokens: 1000}
+	if _, _, err := Batch(in, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if in[0].PromptLen != 5 || in[1].PromptLen != 50 || in[2].PromptLen != 10 {
+		t.Fatal("input order mutated")
+	}
+}
+
+// TestBatchProperties: conservation (every request placed or aborted
+// exactly once), size caps and cache budget respected, for random
+// inputs.
+func TestBatchProperties(t *testing.T) {
+	f := func(lens []uint16, nub, ubs uint8) bool {
+		cfg := Config{
+			NumMicroBatches: int(nub%8) + 1,
+			MicroBatchSize:  int(ubs%16) + 1,
+			GenLen:          4,
+			CacheTokens:     2000,
+		}
+		in := make([]workload.Request, len(lens))
+		for i, l := range lens {
+			in[i] = workload.Request{ID: i, PromptLen: int(l%1500) + 1, GenLen: 4}
+		}
+		batches, aborted, err := Batch(in, cfg)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]int)
+		for _, b := range batches {
+			if len(b.Requests) > cfg.MicroBatchSize {
+				return false
+			}
+			if b.Tokens(cfg.GenLen) > cfg.CacheTokens {
+				return false
+			}
+			sum := 0
+			for _, r := range b.Requests {
+				seen[r.ID]++
+				sum += r.PromptLen
+			}
+			if sum != b.PromptTokens {
+				return false
+			}
+		}
+		for _, r := range aborted {
+			seen[r.ID]++
+		}
+		if len(batches) > cfg.NumMicroBatches {
+			return false
+		}
+		for _, r := range in {
+			if seen[r.ID] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBalanceQuality: on paper-shaped workloads the greedy partition
+// keeps micro-batch token counts within a single max prompt of each
+// other (the point of Alg. 2).
+func TestBalanceQuality(t *testing.T) {
+	wl := workload.MTBench(32).WithRequests(256)
+	requests := wl.Generate(3)
+	cfg := Config{NumMicroBatches: 8, MicroBatchSize: 32, GenLen: 32, CacheTokens: 1 << 20}
+	batches, aborted, err := Batch(requests, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aborted) != 0 {
+		t.Fatalf("aborted %d", len(aborted))
+	}
+	if got := Spread(batches); got > wl.MaxPrompt {
+		t.Errorf("spread %d exceeds one max prompt %d", got, wl.MaxPrompt)
+	}
+}
+
+func TestSpreadEmpty(t *testing.T) {
+	if Spread(nil) != 0 {
+		t.Error("empty spread")
+	}
+}

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"moelightning/internal/memory"
+	"moelightning/internal/model"
+)
+
+// TestCacheExhaustionSurfacesError: a KV cache sized below the
+// generation's needs must produce an error from Generate — never a hang
+// or silent corruption — even with five lanes in flight.
+func TestCacheExhaustionSurfacesError(t *testing.T) {
+	cfg := model.Tiny()
+	cpu := memory.NewArena("cpu", 1<<22)
+	gpu := memory.NewArena("gpu", 1<<22)
+	pinned := memory.NewArena("pinned", 1<<22)
+	// Room for roughly the prompts only: generation will exhaust it.
+	cacheArena := memory.NewArena("cache", 4*cfg.Layers*2*cfg.KVDim()*16*2)
+	w, err := NewRandomWeights(cpu, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPipeline(w, gpu, pinned, cacheArena, 4, Config{MicroBatch: 2, MaxContext: 8})
+	if err != nil {
+		// Acceptable: construction itself may detect the shortfall.
+		return
+	}
+	defer pl.Close()
+	prompts := testPrompts(4, 7, 8, cfg.VocabSize)
+	_, err = pl.Generate(prompts, 30)
+	if err == nil {
+		t.Fatal("cache exhaustion went unnoticed")
+	}
+	if !strings.Contains(err.Error(), "blocks") && !strings.Contains(err.Error(), "exhausted") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestPipelineSingleShot: a second Generate on the same pipeline is
+// rejected (the KV cache already holds the first batch).
+func TestPipelineSingleShot(t *testing.T) {
+	cfg := model.Tiny()
+	cpu, gpu, pinned, cacheArena := newTestArenas()
+	w, err := NewRandomWeights(cpu, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPipeline(w, gpu, pinned, cacheArena, 2, Config{MicroBatch: 2, MaxContext: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+	prompts := testPrompts(2, 3, 4, cfg.VocabSize)
+	if _, err := pl.Generate(prompts, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Generate(prompts, 3); err == nil {
+		t.Fatal("second Generate accepted")
+	}
+}
+
+// TestClosedPipelineRejected: Generate after Close errors cleanly.
+func TestClosedPipelineRejected(t *testing.T) {
+	cfg := model.Tiny()
+	cpu, gpu, pinned, cacheArena := newTestArenas()
+	w, err := NewRandomWeights(cpu, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPipeline(w, gpu, pinned, cacheArena, 2, Config{MicroBatch: 2, MaxContext: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.Close()
+	pl.Close() // idempotent
+	if _, err := pl.Generate(testPrompts(2, 3, 4, cfg.VocabSize), 2); err == nil {
+		t.Fatal("closed pipeline accepted work")
+	}
+}
+
+// TestPipelineRandomShapesMatchReference fuzzes batch shapes: random
+// sequence counts, micro-batch sizes, lookaheads, prompt lengths and
+// generation lengths must all stay token-exact vs the reference.
+func TestPipelineRandomShapesMatchReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzing skipped in -short")
+	}
+	cfg := model.Tiny()
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 12; trial++ {
+		seqs := 1 + rng.Intn(7)
+		mu := 1 + rng.Intn(seqs)
+		lookahead := 1 + rng.Intn(3)
+		gen := 2 + rng.Intn(5)
+		seed := rng.Int63()
+
+		cpu, gpu, pinned, cacheArena := newTestArenas()
+		w, err := NewRandomWeights(cpu, cfg, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prompts := testPrompts(seqs, 2+rng.Intn(4), 6+rng.Intn(6), cfg.VocabSize)
+
+		ref, err := NewReference(w, memory.NewArena("rc", 1<<22), seqs, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Generate(prompts, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := NewPipeline(w, gpu, pinned, cacheArena, seqs,
+			Config{MicroBatch: mu, MaxContext: 64, Lookahead: lookahead})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pl.Generate(prompts, gen)
+		pl.Close()
+		if err != nil {
+			t.Fatalf("trial %d (seqs=%d mu=%d la=%d gen=%d): %v", trial, seqs, mu, lookahead, gen, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (seqs=%d mu=%d la=%d gen=%d): diverged", trial, seqs, mu, lookahead, gen)
+		}
+	}
+}

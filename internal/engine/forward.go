@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"moelightning/internal/tensor"
+)
+
+// Shared forward-pass kernels. Both the sequential reference and the
+// pipelined engine call exactly these functions, so their outputs are
+// bit-identical when the schedule is correct.
+
+const ropeTheta = 10000
+
+// preAttention computes the pre-attention stage for a group of tokens:
+// RMSNorm, Q/K/V projection and rotary embedding. x is [n, hidden],
+// positions[i] is token i's absolute position, qkv is [n, qdim+2*kvdim]
+// output (Q then K then V per row).
+func preAttention(layout Layout, layer []float32, x tensor.Mat, positions []int, qkv tensor.Mat) {
+	cfg := layout.cfg
+	q, kv := cfg.QDim(), cfg.KVDim()
+	normed := make([]float32, cfg.Hidden)
+	wq, wk, wv := layout.Wq(layer), layout.Wk(layer), layout.Wv(layer)
+	norm := layout.AttnNorm(layer)
+	for i := 0; i < x.Rows; i++ {
+		tensor.RMSNorm(normed, x.Row(i), norm, 1e-5)
+		row := qkv.Row(i)
+		nm := tensor.FromSlice(1, cfg.Hidden, normed)
+		tensor.MatMulT(tensor.FromSlice(1, q, row[:q]), nm, wq)
+		tensor.MatMulT(tensor.FromSlice(1, kv, row[q:q+kv]), nm, wk)
+		tensor.MatMulT(tensor.FromSlice(1, kv, row[q+kv:]), nm, wv)
+		tensor.RoPE(row[:q], cfg.HeadDim, positions[i], ropeTheta)
+		tensor.RoPE(row[q:q+kv], cfg.HeadDim, positions[i], ropeTheta)
+	}
+}
+
+// postAttention applies the O projection, residual, FFN norm, router and
+// top-k expert FFN for a group of tokens. attnOut is [n, qdim]; x is
+// [n, hidden] and is updated in place (both residual adds). It returns
+// the expert indices chosen per token for routing statistics.
+func postAttention(layout Layout, layer []float32, attnOut, x tensor.Mat, scratch *ffnScratch) [][]int {
+	cfg := layout.cfg
+	wo := layout.Wo(layer)
+	router := layout.Router(layer)
+	norm := layout.FFNNorm(layer)
+	chosen := make([][]int, x.Rows)
+
+	for i := 0; i < x.Rows; i++ {
+		// O projection + residual.
+		ao := tensor.FromSlice(1, cfg.QDim(), attnOut.Row(i))
+		tensor.MatMulT(tensor.FromSlice(1, cfg.Hidden, scratch.proj), ao, wo)
+		tensor.Add(x.Row(i), x.Row(i), scratch.proj)
+
+		// FFN norm.
+		tensor.RMSNorm(scratch.normed, x.Row(i), norm, 1e-5)
+		nm := tensor.FromSlice(1, cfg.Hidden, scratch.normed)
+
+		// Router: softmax over top-k logits, renormalized (Mixtral).
+		tensor.MatMulT(tensor.FromSlice(1, cfg.Experts, scratch.logits), nm, router)
+		topk := tensor.TopK(scratch.logits, cfg.TopK)
+		chosen[i] = topk
+		copy(scratch.gateWeights, scratch.logits)
+		sel := make([]float32, len(topk))
+		for j, e := range topk {
+			sel[j] = scratch.gateWeights[e]
+		}
+		tensor.Softmax(sel)
+
+		// Expert FFN: y = sum_e w_e * down(SiLU(gate(t)) * up(t)).
+		for j := range scratch.ffnOut {
+			scratch.ffnOut[j] = 0
+		}
+		for j, e := range topk {
+			gate, up, down := layout.Expert(layer, e)
+			tensor.MatMulT(tensor.FromSlice(1, cfg.Intermediate, scratch.gateAct), nm, gate)
+			tensor.MatMulT(tensor.FromSlice(1, cfg.Intermediate, scratch.upAct), nm, up)
+			tensor.SiLU(scratch.gateAct)
+			for k := range scratch.gateAct {
+				scratch.gateAct[k] *= scratch.upAct[k]
+			}
+			tensor.MatMulT(tensor.FromSlice(1, cfg.Hidden, scratch.proj),
+				tensor.FromSlice(1, cfg.Intermediate, scratch.gateAct), down)
+			tensor.Axpy(sel[j], scratch.proj, scratch.ffnOut)
+		}
+		tensor.Add(x.Row(i), x.Row(i), scratch.ffnOut)
+	}
+	return chosen
+}
+
+// ffnScratch is reusable per-token workspace for postAttention.
+type ffnScratch struct {
+	proj, normed, ffnOut []float32
+	logits, gateWeights  []float32
+	gateAct, upAct       []float32
+}
+
+func newFFNScratch(layout Layout) *ffnScratch {
+	cfg := layout.cfg
+	return &ffnScratch{
+		proj:        make([]float32, cfg.Hidden),
+		normed:      make([]float32, cfg.Hidden),
+		ffnOut:      make([]float32, cfg.Hidden),
+		logits:      make([]float32, cfg.Experts),
+		gateWeights: make([]float32, cfg.Experts),
+		gateAct:     make([]float32, cfg.Intermediate),
+		upAct:       make([]float32, cfg.Intermediate),
+	}
+}
+
+// logitsFor computes the LM-head logits for one hidden state using the
+// tied embedding.
+func logitsFor(w *Weights, hidden []float32, logits []float32) {
+	normed := make([]float32, len(hidden))
+	tensor.RMSNorm(normed, hidden, w.FinalNorm, 1e-5)
+	tensor.MatMulT(tensor.FromSlice(1, w.Cfg.VocabSize, logits),
+		tensor.FromSlice(1, len(hidden), normed), w.Embedding)
+}

@@ -1,0 +1,100 @@
+// Package engine is the functional MoE inference engine: a real (tiny-
+// scale) MoE transformer that executes prefill and CGOPipe decode over
+// explicit memory arenas, with one worker goroutine per hardware lane.
+// Its output is verified token-for-token against a sequential reference
+// implementation, demonstrating that the paper's schedule, paging and
+// memory management preserve model semantics.
+package engine
+
+import (
+	"fmt"
+
+	"moelightning/internal/model"
+	"moelightning/internal/tensor"
+)
+
+// Layout maps a layer's flat weight region to its tensors. The region
+// is ordered so the attention projections come first: page 1 of the
+// paging scheme then suffices for pre-attention (§4.1).
+type Layout struct {
+	cfg model.Config
+
+	attnNorm, wq, wk, wv, wo int
+	ffnNorm, router          int
+	expertBase, expertSize   int
+	gate, up, down           int // offsets within one expert
+	total                    int
+}
+
+// NewLayout computes the offsets for a model config.
+func NewLayout(cfg model.Config) Layout {
+	h, h2 := cfg.Hidden, cfg.Intermediate
+	q, kv := cfg.QDim(), cfg.KVDim()
+	var l Layout
+	l.cfg = cfg
+	off := 0
+	next := func(n int) int { o := off; off += n; return o }
+	l.attnNorm = next(h)
+	l.wq = next(q * h)
+	l.wk = next(kv * h)
+	l.wv = next(kv * h)
+	l.wo = next(h * q)
+	l.ffnNorm = next(h)
+	l.router = next(cfg.Experts * h)
+	l.gate, l.up, l.down = 0, h2*h, 2*h2*h
+	l.expertSize = 3 * h2 * h
+	l.expertBase = next(cfg.Experts * l.expertSize)
+	l.total = off
+	return l
+}
+
+// LayerFloats is the flat size of one layer's weights.
+func (l Layout) LayerFloats() int { return l.total }
+
+// AttnFloats is the prefix of the region holding everything
+// pre-attention needs (norm + QKV projections).
+func (l Layout) AttnFloats() int { return l.wo }
+
+// Views over a layer's flat data. Weights are stored transposed
+// ([out, in]) for MatMulT.
+
+func (l Layout) AttnNorm(data []float32) []float32 {
+	return data[l.attnNorm : l.attnNorm+l.cfg.Hidden]
+}
+
+func (l Layout) Wq(data []float32) tensor.Mat {
+	return tensor.FromSlice(l.cfg.QDim(), l.cfg.Hidden, data[l.wq:l.wk])
+}
+
+func (l Layout) Wk(data []float32) tensor.Mat {
+	return tensor.FromSlice(l.cfg.KVDim(), l.cfg.Hidden, data[l.wk:l.wv])
+}
+
+func (l Layout) Wv(data []float32) tensor.Mat {
+	return tensor.FromSlice(l.cfg.KVDim(), l.cfg.Hidden, data[l.wv:l.wo])
+}
+
+func (l Layout) Wo(data []float32) tensor.Mat {
+	return tensor.FromSlice(l.cfg.Hidden, l.cfg.QDim(), data[l.wo:l.ffnNorm])
+}
+
+func (l Layout) FFNNorm(data []float32) []float32 {
+	return data[l.ffnNorm : l.ffnNorm+l.cfg.Hidden]
+}
+
+func (l Layout) Router(data []float32) tensor.Mat {
+	return tensor.FromSlice(l.cfg.Experts, l.cfg.Hidden, data[l.router:l.expertBase])
+}
+
+// Expert returns the gate, up and down projections of expert e.
+func (l Layout) Expert(data []float32, e int) (gate, up, down tensor.Mat) {
+	if e < 0 || e >= l.cfg.Experts {
+		panic(fmt.Sprintf("engine: expert %d out of %d", e, l.cfg.Experts))
+	}
+	base := l.expertBase + e*l.expertSize
+	h, h2 := l.cfg.Hidden, l.cfg.Intermediate
+	gate = tensor.FromSlice(h2, h, data[base+l.gate:base+l.up])
+	up = tensor.FromSlice(h2, h, data[base+l.up:base+l.down])
+	down = tensor.FromSlice(h, h2, data[base+l.down:base+l.expertSize])
+	return gate, up, down
+}

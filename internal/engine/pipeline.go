@@ -1,0 +1,292 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"moelightning/internal/kvcache"
+	"moelightning/internal/memory"
+	"moelightning/internal/paging"
+	"moelightning/internal/tensor"
+)
+
+// Pipeline is the CGOPipe functional engine: decode steps execute
+// Alg. 1 with one worker goroutine per lane (GPU, CPU, HtoD, DtoH, Pin)
+// and channel-carried dependencies. Weights live in the CPU arena and
+// stream through pinned staging into a double-buffered GPU region, page
+// by page; attention runs on the CPU worker against the CPU-resident
+// paged KV cache; everything else runs on the GPU worker, which only
+// ever reads GPU-arena memory.
+type Pipeline struct {
+	w      *Weights
+	layout Layout
+
+	gpuArena    *memory.Arena
+	pinnedArena *memory.Arena
+
+	db      *paging.DoubleBuffer
+	staging *paging.Staging
+	cache   *kvcache.Cache
+
+	// hidden is the GPU-resident [numSeqs, hidden] state.
+	hidden tensor.Mat
+
+	// Micro-batch partition: mbs[j] lists sequence indices.
+	mbs [][]int
+
+	// Per-micro-batch transfer buffers (GPU and CPU sides).
+	qkvGPU, qkvCPU   []memory.Region
+	attnGPU, attnCPU []memory.Region
+
+	lanes  *laneSet
+	closed bool
+	used   bool
+
+	// Counters observable by tests and examples.
+	Counters Counters
+
+	// ExpertLoad counts expert selections per layer.
+	ExpertLoad [][]int64
+
+	scratch   *ffnScratch
+	logits    []float32
+	lookahead int
+
+	err atomic.Value
+}
+
+// Counters tallies data movement and kernel activity.
+type Counters struct {
+	HtoDFloats, DtoHFloats, PinFloats atomic.Int64
+	PagesMoved, GPUKernels, CPUAttns  atomic.Int64
+}
+
+// Config holds pipeline construction parameters.
+type Config struct {
+	// MicroBatch is μ: sequences per micro-batch.
+	MicroBatch int
+	// MaxContext bounds per-sequence context for cache sizing.
+	MaxContext int
+	// Lookahead is how many micro-batches ahead CPU attention launches
+	// (Alg. 1 uses 2).
+	Lookahead int
+	// Partition optionally supplies an explicit micro-batch partition
+	// (lists of sequence indices), e.g. from the Alg. 2 batcher; when
+	// set it overrides MicroBatch-based chunking. Every sequence index
+	// in [0, numSeqs) must appear exactly once.
+	Partition [][]int
+}
+
+// NewPipeline assembles the engine over explicit arenas. numSeqs is the
+// decode batch N; sequences are partitioned into ⌈N/μ⌉ micro-batches.
+func NewPipeline(w *Weights, gpu, pinned, cacheArena *memory.Arena, numSeqs int, cfg Config) (*Pipeline, error) {
+	if numSeqs <= 0 {
+		return nil, fmt.Errorf("engine: non-positive sequence count %d", numSeqs)
+	}
+	if cfg.MicroBatch <= 0 && len(cfg.Partition) == 0 {
+		return nil, fmt.Errorf("engine: need a positive micro-batch size or an explicit partition")
+	}
+	if cfg.Lookahead <= 0 {
+		cfg.Lookahead = 2
+	}
+	if len(cfg.Partition) > 0 {
+		if err := validatePartition(cfg.Partition, numSeqs); err != nil {
+			return nil, err
+		}
+	}
+	layout := w.Layout
+	nb := len(cfg.Partition)
+	if nb == 0 {
+		nb = (numSeqs + cfg.MicroBatch - 1) / cfg.MicroBatch
+	}
+
+	table, err := paging.NewPageTable(layout.LayerFloats(), nb)
+	if err != nil {
+		return nil, err
+	}
+	db, err := paging.NewDoubleBuffer(gpu, table)
+	if err != nil {
+		return nil, err
+	}
+	staging, err := paging.NewStaging(pinned, table)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := kvcache.New(cacheArena, w.Cfg.Layers, w.Cfg.KVDim(), 16, numSeqs*cfg.MaxContext)
+	if err != nil {
+		return nil, err
+	}
+
+	hiddenRegion, err := gpu.Alloc(numSeqs * w.Cfg.Hidden)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Pipeline{
+		w: w, layout: layout,
+		gpuArena: gpu, pinnedArena: pinned,
+		db: db, staging: staging, cache: cache,
+		hidden:  tensor.FromSlice(numSeqs, w.Cfg.Hidden, hiddenRegion.Data()),
+		scratch: newFFNScratch(layout),
+		logits:  make([]float32, w.Cfg.VocabSize),
+	}
+	if len(cfg.Partition) > 0 {
+		p.mbs = cfg.Partition
+	} else {
+		for s := 0; s < numSeqs; s += cfg.MicroBatch {
+			hi := s + cfg.MicroBatch
+			if hi > numSeqs {
+				hi = numSeqs
+			}
+			mb := make([]int, 0, hi-s)
+			for i := s; i < hi; i++ {
+				mb = append(mb, i)
+			}
+			p.mbs = append(p.mbs, mb)
+		}
+	}
+
+	q, kv := w.Cfg.QDim(), w.Cfg.KVDim()
+	for _, mb := range p.mbs {
+		n := len(mb)
+		qg, err := gpu.Alloc(n * (q + 2*kv))
+		if err != nil {
+			return nil, err
+		}
+		ag, err := gpu.Alloc(n * q)
+		if err != nil {
+			return nil, err
+		}
+		qc, err := pinned.Alloc(n * (q + 2*kv))
+		if err != nil {
+			return nil, err
+		}
+		ac, err := pinned.Alloc(n * q)
+		if err != nil {
+			return nil, err
+		}
+		p.qkvGPU = append(p.qkvGPU, qg)
+		p.qkvCPU = append(p.qkvCPU, qc)
+		p.attnGPU = append(p.attnGPU, ag)
+		p.attnCPU = append(p.attnCPU, ac)
+	}
+
+	p.ExpertLoad = make([][]int64, w.Cfg.Layers)
+	for i := range p.ExpertLoad {
+		p.ExpertLoad[i] = make([]int64, w.Cfg.Experts)
+	}
+
+	p.lanes = newLaneSet()
+	p.lookahead = cfg.Lookahead
+	return p, nil
+}
+
+// MicroBatches returns the micro-batch partition (sequence indices).
+func (p *Pipeline) MicroBatches() [][]int { return p.mbs }
+
+// Close shuts the worker goroutines down. The pipeline is unusable
+// afterwards.
+func (p *Pipeline) Close() {
+	if !p.closed {
+		p.lanes.close()
+		p.closed = true
+	}
+}
+
+func (p *Pipeline) fail(err error) {
+	if err != nil {
+		p.err.CompareAndSwap(nil, err)
+	}
+}
+
+func (p *Pipeline) failed() error {
+	if v := p.err.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// validatePartition checks an explicit micro-batch partition covers
+// [0, n) exactly once with no empty micro-batches.
+func validatePartition(parts [][]int, n int) error {
+	seen := make([]bool, n)
+	count := 0
+	for i, mb := range parts {
+		if len(mb) == 0 {
+			return fmt.Errorf("engine: partition %d is empty", i)
+		}
+		for _, s := range mb {
+			if s < 0 || s >= n {
+				return fmt.Errorf("engine: partition %d references sequence %d of %d", i, s, n)
+			}
+			if seen[s] {
+				return fmt.Errorf("engine: sequence %d appears twice in the partition", s)
+			}
+			seen[s] = true
+			count++
+		}
+	}
+	if count != n {
+		return fmt.Errorf("engine: partition covers %d of %d sequences", count, n)
+	}
+	return nil
+}
+
+// laneSet runs one worker goroutine per lane; tasks carry explicit
+// dependencies as done-channels ("share memory by communicating").
+type laneSet struct {
+	chans [5]chan *task
+	wg    sync.WaitGroup
+}
+
+type task struct {
+	name string
+	deps []*task
+	run  func() error
+	done chan struct{}
+	fail func(error)
+}
+
+const (
+	laneGPU = iota
+	laneCPU
+	laneHtoD
+	laneDtoH
+	lanePin
+)
+
+func newLaneSet() *laneSet {
+	ls := &laneSet{}
+	for i := range ls.chans {
+		ls.chans[i] = make(chan *task, 4096)
+		ls.wg.Add(1)
+		go func(ch chan *task) {
+			defer ls.wg.Done()
+			for t := range ch {
+				for _, d := range t.deps {
+					<-d.done
+				}
+				if err := t.run(); err != nil {
+					t.fail(fmt.Errorf("%s: %w", t.name, err))
+				}
+				close(t.done)
+			}
+		}(ls.chans[i])
+	}
+	return ls
+}
+
+func (ls *laneSet) close() {
+	for _, ch := range ls.chans {
+		close(ch)
+	}
+	ls.wg.Wait()
+}
+
+// submit queues a task on a lane and returns it for use as a dependency.
+func (p *Pipeline) submit(lane int, name string, deps []*task, run func() error) *task {
+	t := &task{name: name, deps: deps, run: run, done: make(chan struct{}), fail: p.fail}
+	p.lanes.chans[lane] <- t
+	return t
+}

@@ -1,0 +1,347 @@
+package engine
+
+import (
+	"fmt"
+
+	"moelightning/internal/memory"
+	"moelightning/internal/tensor"
+)
+
+// Generate runs layer-wise prefill over the prompts followed by genLen
+// greedy decode steps under the CGOPipe pipeline, returning the
+// generated token IDs per sequence.
+func (p *Pipeline) Generate(prompts [][]int, genLen int) ([][]int, error) {
+	if p.closed {
+		return nil, fmt.Errorf("engine: pipeline is closed")
+	}
+	if p.used {
+		return nil, fmt.Errorf("engine: pipeline already generated; build a fresh one per batch (the KV cache is single-shot)")
+	}
+	p.used = true
+	if len(prompts) != p.hidden.Rows {
+		return nil, fmt.Errorf("engine: %d prompts for a %d-sequence pipeline", len(prompts), p.hidden.Rows)
+	}
+	if err := p.prefill(prompts); err != nil {
+		return nil, err
+	}
+
+	out := make([][]int, len(prompts))
+	next := make([]int, len(prompts))
+	for s := range prompts {
+		logitsFor(p.w, p.hidden.Row(s), p.logits)
+		next[s] = tensor.ArgMax(p.logits)
+	}
+
+	// Preload layer 0 into GPU slot 0 before the first decode step.
+	if err := p.loadLayerSync(0, 0); err != nil {
+		return nil, err
+	}
+
+	for t := 0; t < genLen; t++ {
+		for s := range prompts {
+			out[s] = append(out[s], next[s])
+		}
+		if t == genLen-1 {
+			break
+		}
+		// Embed this step's tokens into the hidden state (GPU side).
+		for s, tok := range next {
+			copy(p.hidden.Row(s), p.w.Embedding.Row(tok))
+		}
+		if err := p.decodeStep(t); err != nil {
+			return nil, err
+		}
+		for s := range prompts {
+			logitsFor(p.w, p.hidden.Row(s), p.logits)
+			next[s] = tensor.ArgMax(p.logits)
+		}
+	}
+	return out, nil
+}
+
+// taskSpec is a to-be-submitted task: symbolic construction first, then
+// submission in issue order, so dependencies may reference tasks that
+// are issued later on other lanes without any lookup races.
+type taskSpec struct {
+	lane int
+	name string
+	deps []*task
+	run  func() error
+	t    *task
+}
+
+// decodeStep executes Alg. 1 for one token position: every micro-batch
+// through every layer, with the pipeline's five lanes overlapped. The
+// call returns when the step completes (synchronous step boundary).
+func (p *Pipeline) decodeStep(step int) error {
+	cfg := p.w.Cfg
+	L := cfg.Layers
+	nb := len(p.mbs)
+	ahead := p.lookahead
+	if ahead > nb {
+		ahead = nb
+	}
+	vbase := step * L // virtual index of this step's layer 0; preloaded slot parity matches
+
+	// Positions captured at step start; every sequence appends one
+	// token per layer during the step.
+	positions := make([]int, p.hidden.Rows)
+	for s := range positions {
+		positions[s] = p.cache.Len(s)
+	}
+
+	total := L * nb
+	attnPages := p.attnPages()
+
+	// Phase 1: create every task object so dependencies can be wired
+	// regardless of issue order.
+	pre := make([]*task, total+1)
+	qkv := make([]*task, total+1)
+	cattn := make([]*task, total+1)
+	loadh := make([]*task, total+1)
+	post := make([]*task, total+1)
+	pagesT := make([][]*task, L+1) // pagesT[l][pg]: page pg of virtual layer vbase+l+1
+	pinsT := make([][]*task, L+1)
+	mk := func(name string, run func() error) *task {
+		return &task{name: name, run: run, done: make(chan struct{}), fail: p.fail}
+	}
+	for g := 1; g <= total; g++ {
+		l, j := (g-1)/nb, (g-1)%nb+1
+		v := vbase + l
+		mb := p.mbs[j-1]
+		jj := j - 1
+		pre[g] = mk(fmt.Sprintf("pre(%d,%d)", l, j), func() error {
+			p.Counters.GPUKernels.Add(1)
+			return p.runPreAttn(v, mb, positions)
+		})
+		qkv[g] = mk(fmt.Sprintf("qkv(%d,%d)", l, j), func() error {
+			memory.Copy(p.qkvCPU[jj], p.qkvGPU[jj])
+			p.Counters.DtoHFloats.Add(int64(p.qkvGPU[jj].Len()))
+			return nil
+		})
+		cattn[g] = mk(fmt.Sprintf("cattn(%d,%d)", l, j), func() error {
+			p.Counters.CPUAttns.Add(1)
+			return p.runCPUAttn(l, mb)
+		})
+		loadh[g] = mk(fmt.Sprintf("loadh(%d,%d)", l, j), func() error {
+			memory.Copy(p.attnGPU[jj], p.attnCPU[jj])
+			p.Counters.HtoDFloats.Add(int64(p.attnGPU[jj].Len()))
+			return nil
+		})
+		post[g] = mk(fmt.Sprintf("post(%d,%d)", l, j), func() error {
+			p.Counters.GPUKernels.Add(1)
+			return p.runPostAttn(l, v, mb)
+		})
+	}
+	for l := 0; l <= L-1; l++ {
+		v := vbase + l
+		pagesT[l] = make([]*task, nb)
+		pinsT[l] = make([]*task, nb)
+		for pg := 0; pg < nb; pg++ {
+			vv, pp := v+1, pg
+			pagesT[l][pg] = mk(fmt.Sprintf("page(v%d,%d)", vv, pp), func() error {
+				p.Counters.PagesMoved.Add(1)
+				return p.runPage(vv, pp)
+			})
+			pinsT[l][pg] = mk(fmt.Sprintf("pin(v%d,%d)", vv, pp), func() error {
+				return p.runPin(vv, pp)
+			})
+		}
+	}
+
+	// Phase 2: wire dependencies.
+	for g := 1; g <= total; g++ {
+		l, j := (g-1)/nb, (g-1)%nb+1
+		// Pre-attention: previous layer's hidden states and the
+		// attention-projection pages of this layer.
+		if l > 0 {
+			pre[g].deps = append(pre[g].deps, post[g-nb])
+			pre[g].deps = append(pre[g].deps, pagesT[l-1][attnPages-1])
+		}
+		qkv[g].deps = append(qkv[g].deps, pre[g])
+		cattn[g].deps = append(cattn[g].deps, qkv[g])
+		loadh[g].deps = append(loadh[g].deps, cattn[g])
+		post[g].deps = append(post[g].deps, loadh[g])
+		if l > 0 {
+			post[g].deps = append(post[g].deps, pagesT[l-1][nb-1]) // full layer resident
+		}
+		// Weight page shipping at this slot: page j-1 of layer l+1.
+		pagesT[l][j-1].deps = append(pagesT[l][j-1].deps, pinsT[l][j-1])
+		if j == 1 && l > 0 {
+			// Slot-reuse hazard: the double-buffer slot of layer l+1 is
+			// the one layer l-1 used; wait for its last consumer.
+			pagesT[l][0].deps = append(pagesT[l][0].deps, post[(l-1)*nb+nb])
+		}
+		// Staging-slot reuse hazard: pin of layer l+1 overwrites the
+		// pinned slot that fed layer l-1's pages.
+		if l > 1 {
+			pinsT[l][j-1].deps = append(pinsT[l][j-1].deps, pagesT[l-2][j-1])
+		}
+	}
+
+	// Phase 3: submit in Alg. 1 issue order (per-lane FIFO).
+	submit := func(lane int, t *task) {
+		p.lanes.chans[lane] <- t
+	}
+	preSlot := func(g int) {
+		l, j := (g-1)/nb, (g-1)%nb+1
+		submit(laneGPU, pre[g])
+		submit(laneDtoH, qkv[g])
+		submit(laneCPU, cattn[g])
+		submit(lanePin, pinsT[l][j-1])
+	}
+	for g := 1; g <= ahead && g <= total; g++ {
+		preSlot(g)
+	}
+	for g := 1; g <= total; g++ {
+		l, j := (g-1)/nb, (g-1)%nb+1
+		submit(laneHtoD, loadh[g])
+		submit(laneHtoD, pagesT[l][j-1])
+		submit(laneGPU, post[g])
+		if g2 := g + ahead; g2 <= total {
+			preSlot(g2)
+		}
+	}
+
+	// Step barrier: every post task and every page must complete.
+	for g := 1; g <= total; g++ {
+		<-post[g].done
+	}
+	for l := 0; l < L; l++ {
+		for pg := 0; pg < nb; pg++ {
+			<-pagesT[l][pg].done
+		}
+	}
+	return p.failed()
+}
+
+// attnPages returns how many leading pages cover the attention
+// projections (what pre-attention must wait for).
+func (p *Pipeline) attnPages() int {
+	table := p.db.Table()
+	need := p.layout.AttnFloats()
+	covered := 0
+	for pg := 0; pg < table.NumPages; pg++ {
+		covered += table.PageSize(pg)
+		if covered >= need {
+			return pg + 1
+		}
+	}
+	return table.NumPages
+}
+
+// runPreAttn executes the pre-attention kernel for a micro-batch using
+// the GPU-resident weights of virtual layer v.
+func (p *Pipeline) runPreAttn(v int, mb []int, positions []int) error {
+	layer := p.db.Slot(v).Data()
+	cfg := p.w.Cfg
+	q, kv := cfg.QDim(), cfg.KVDim()
+	j := p.mbIndex(mb)
+	qkv := tensor.FromSlice(len(mb), q+2*kv, p.qkvGPU[j].Data()[:len(mb)*(q+2*kv)])
+	x := tensor.NewMat(len(mb), cfg.Hidden)
+	pos := make([]int, len(mb))
+	for i, s := range mb {
+		copy(x.Row(i), p.hidden.Row(s))
+		pos[i] = positions[s]
+	}
+	preAttention(p.layout, layer, x, pos, qkv)
+	return nil
+}
+
+// runCPUAttn appends the offloaded K/V to the cache and computes
+// attention for every sequence of the micro-batch on the CPU worker.
+func (p *Pipeline) runCPUAttn(layer int, mb []int) error {
+	cfg := p.w.Cfg
+	q, kv := cfg.QDim(), cfg.KVDim()
+	j := p.mbIndex(mb)
+	qkv := p.qkvCPU[j].Data()
+	out := p.attnCPU[j].Data()
+	for i, s := range mb {
+		row := qkv[i*(q+2*kv) : (i+1)*(q+2*kv)]
+		if err := p.cache.Append(s, layer, row[q:q+kv], row[q+kv:]); err != nil {
+			return err
+		}
+		ctx := p.cache.LayerLen(s, layer)
+		keys := tensor.NewMat(ctx, kv)
+		values := tensor.NewMat(ctx, kv)
+		if _, err := p.cache.Gather(s, layer, keys, values); err != nil {
+			return err
+		}
+		tensor.AttendOne(out[i*q:(i+1)*q], row[:q], keys, values,
+			cfg.QHeads, cfg.KVHeads, cfg.HeadDim, nil)
+	}
+	return nil
+}
+
+// runPostAttn executes O projection + MoE FFN for a micro-batch and
+// writes the updated hidden states back.
+func (p *Pipeline) runPostAttn(layer, v int, mb []int) error {
+	cfg := p.w.Cfg
+	data := p.db.Slot(v).Data()
+	j := p.mbIndex(mb)
+	attn := tensor.FromSlice(len(mb), cfg.QDim(), p.attnGPU[j].Data()[:len(mb)*cfg.QDim()])
+	x := tensor.NewMat(len(mb), cfg.Hidden)
+	for i, s := range mb {
+		copy(x.Row(i), p.hidden.Row(s))
+	}
+	chosen := postAttention(p.layout, data, attn, x, p.scratch)
+	for i, s := range mb {
+		copy(p.hidden.Row(s), x.Row(i))
+		for _, e := range chosen[i] {
+			p.ExpertLoad[layer][e]++
+		}
+	}
+	return nil
+}
+
+// runPin copies page pg of the layer backing virtual layer v from CPU
+// memory into pinned staging.
+func (p *Pipeline) runPin(v, pg int) error {
+	layer := p.realLayer(v)
+	lo, hi := p.db.Table().PageBounds(pg)
+	src := p.w.Layers[layer].Slice(lo, hi)
+	dst := p.staging.PageRegion(v, pg)
+	memory.Copy(dst, src)
+	p.Counters.PinFloats.Add(int64(dst.Len()))
+	return nil
+}
+
+// runPage ships page pg of virtual layer v from pinned staging into the
+// GPU double buffer.
+func (p *Pipeline) runPage(v, pg int) error {
+	src := p.staging.PageRegion(v, pg)
+	dst := p.db.PageRegion(v, pg)
+	memory.Copy(dst, src)
+	p.Counters.HtoDFloats.Add(int64(dst.Len()))
+	return nil
+}
+
+// realLayer maps a virtual layer index to the model layer it carries.
+func (p *Pipeline) realLayer(v int) int {
+	return v % p.w.Cfg.Layers
+}
+
+// mbIndex recovers a micro-batch's index from its first sequence.
+func (p *Pipeline) mbIndex(mb []int) int {
+	for j, cand := range p.mbs {
+		if len(cand) > 0 && len(mb) > 0 && cand[0] == mb[0] {
+			return j
+		}
+	}
+	panic("engine: unknown micro-batch")
+}
+
+// loadLayerSync copies a whole layer into the double buffer through
+// staging, synchronously (setup and prefill use it).
+func (p *Pipeline) loadLayerSync(layer, v int) error {
+	table := p.db.Table()
+	for pg := 0; pg < table.NumPages; pg++ {
+		lo, hi := table.PageBounds(pg)
+		memory.Copy(p.staging.PageRegion(v, pg), p.w.Layers[layer].Slice(lo, hi))
+		memory.Copy(p.db.PageRegion(v, pg), p.staging.PageRegion(v, pg))
+		p.Counters.PinFloats.Add(int64(hi - lo))
+		p.Counters.HtoDFloats.Add(int64(hi - lo))
+		p.Counters.PagesMoved.Add(1)
+	}
+	return nil
+}

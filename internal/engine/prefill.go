@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"fmt"
+
+	"moelightning/internal/tensor"
+)
+
+// prefill runs the prompt phase layer-by-layer (the zigzag order of
+// §4): each layer's weights stream into the double buffer once, all
+// sequences' prompt tokens flow through it, and the per-layer K/V is
+// appended to the CPU cache. Computation is causal within each
+// sequence; the final hidden state of each prompt's last token seeds
+// decode.
+func (p *Pipeline) prefill(prompts [][]int) error {
+	cfg := p.w.Cfg
+	layout := p.layout
+	q, kv := cfg.QDim(), cfg.KVDim()
+
+	total := 0
+	rowOf := make([]int, len(prompts)) // first row of each sequence
+	for s, prompt := range prompts {
+		if len(prompt) == 0 {
+			return fmt.Errorf("engine: empty prompt for sequence %d", s)
+		}
+		rowOf[s] = total
+		total += len(prompt)
+	}
+
+	// Prompt-wide activations (the GPU prefill workspace).
+	x := tensor.NewMat(total, cfg.Hidden)
+	qkv := tensor.NewMat(total, q+2*kv)
+	attnOut := tensor.NewMat(total, q)
+	scratch := newFFNScratch(layout)
+
+	for s, prompt := range prompts {
+		for t, tok := range prompt {
+			copy(x.Row(rowOf[s]+t), p.w.Embedding.Row(tok))
+		}
+	}
+
+	for l := 0; l < cfg.Layers; l++ {
+		if err := p.loadLayerSync(l, l); err != nil {
+			return err
+		}
+		layer := p.db.Slot(l).Data()
+		for s, prompt := range prompts {
+			n := len(prompt)
+			rows := tensor.FromSlice(n, cfg.Hidden, x.Data[rowOf[s]*cfg.Hidden:(rowOf[s]+n)*cfg.Hidden])
+			qrows := tensor.FromSlice(n, q+2*kv, qkv.Data[rowOf[s]*(q+2*kv):(rowOf[s]+n)*(q+2*kv)])
+			positions := make([]int, n)
+			for t := range positions {
+				positions[t] = t
+			}
+			preAttention(layout, layer, rows, positions, qrows)
+
+			// Offload K/V to the CPU cache (prefill KV offloading, §4).
+			for t := 0; t < n; t++ {
+				row := qrows.Row(t)
+				if err := p.cache.Append(s, l, row[q:q+kv], row[q+kv:]); err != nil {
+					return err
+				}
+				p.Counters.DtoHFloats.Add(int64(2 * kv))
+			}
+
+			// Causal attention over the prompt (GPU-side in the real
+			// system; the K/V just computed are still in registers/HBM).
+			keys := tensor.NewMat(n, kv)
+			values := tensor.NewMat(n, kv)
+			queries := tensor.NewMat(n, q)
+			for t := 0; t < n; t++ {
+				row := qrows.Row(t)
+				copy(queries.Row(t), row[:q])
+				copy(keys.Row(t), row[q:q+kv])
+				copy(values.Row(t), row[q+kv:])
+			}
+			arows := tensor.FromSlice(n, q, attnOut.Data[rowOf[s]*q:(rowOf[s]+n)*q])
+			tensor.AttendCausal(arows, queries, keys, values, cfg.QHeads, cfg.KVHeads, cfg.HeadDim)
+			chosen := postAttention(layout, layer, arows, rows, scratch)
+			for _, experts := range chosen {
+				for _, e := range experts {
+					p.ExpertLoad[l][e]++
+				}
+			}
+			p.Counters.GPUKernels.Add(2)
+		}
+	}
+
+	// Last-token hidden states seed decode.
+	for s, prompt := range prompts {
+		copy(p.hidden.Row(s), x.Row(rowOf[s]+len(prompt)-1))
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"fmt"
+
+	"moelightning/internal/kvcache"
+	"moelightning/internal/memory"
+	"moelightning/internal/tensor"
+	"moelightning/internal/workload"
+)
+
+// Reference is the sequential oracle: a straightforward prefill + decode
+// loop with no offloading, no pipeline and no paging. The pipelined
+// engine must reproduce its tokens exactly.
+type Reference struct {
+	w     *Weights
+	cache *kvcache.Cache
+	// hidden[s] is sequence s's current hidden state.
+	hidden tensor.Mat
+	// ExpertLoad counts expert selections per layer for routing stats.
+	ExpertLoad [][]int64
+}
+
+// NewReference builds a reference engine with its own KV cache.
+func NewReference(w *Weights, cacheArena *memory.Arena, numSeqs, maxContext int) (*Reference, error) {
+	cache, err := kvcache.New(cacheArena, w.Cfg.Layers, w.Cfg.KVDim(), 16, numSeqs*maxContext)
+	if err != nil {
+		return nil, err
+	}
+	load := make([][]int64, w.Cfg.Layers)
+	for i := range load {
+		load[i] = make([]int64, w.Cfg.Experts)
+	}
+	return &Reference{
+		w:          w,
+		cache:      cache,
+		hidden:     tensor.NewMat(numSeqs, w.Cfg.Hidden),
+		ExpertLoad: load,
+	}, nil
+}
+
+// Generate runs prefill over the prompts and then greedy decode for
+// genLen steps, returning the generated token IDs per sequence.
+func (r *Reference) Generate(prompts [][]int, genLen int) ([][]int, error) {
+	cfg := r.w.Cfg
+	if len(prompts) > r.hidden.Rows {
+		return nil, fmt.Errorf("engine: %d prompts exceed capacity %d", len(prompts), r.hidden.Rows)
+	}
+	out := make([][]int, len(prompts))
+
+	// Prefill each sequence token by token (simple and obviously
+	// correct; performance is not this engine's concern).
+	for s, prompt := range prompts {
+		if len(prompt) == 0 {
+			return nil, fmt.Errorf("engine: empty prompt for sequence %d", s)
+		}
+		for _, tok := range prompt {
+			if err := r.step(s, tok); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Greedy decode.
+	logits := make([]float32, cfg.VocabSize)
+	next := make([]int, len(prompts))
+	for s := range prompts {
+		logitsFor(r.w, r.hidden.Row(s), logits)
+		next[s] = tensor.ArgMax(logits)
+	}
+	for t := 0; t < genLen; t++ {
+		for s := range prompts {
+			out[s] = append(out[s], next[s])
+		}
+		if t == genLen-1 {
+			break
+		}
+		for s := range prompts {
+			if err := r.step(s, next[s]); err != nil {
+				return nil, err
+			}
+			logitsFor(r.w, r.hidden.Row(s), logits)
+			next[s] = tensor.ArgMax(logits)
+		}
+	}
+	return out, nil
+}
+
+// step feeds one token of one sequence through the whole model,
+// updating the KV cache and hidden state.
+func (r *Reference) step(s, token int) error {
+	cfg := r.w.Cfg
+	layout := r.w.Layout
+	x := r.hidden.Row(s)
+	copy(x, r.w.Embedding.Row(token))
+
+	pos := r.cache.Len(s)
+	q, kv := cfg.QDim(), cfg.KVDim()
+	qkv := tensor.NewMat(1, q+2*kv)
+	attnOut := tensor.NewMat(1, q)
+	keys := tensor.NewMat(pos+1, kv)
+	values := tensor.NewMat(pos+1, kv)
+	scratch := newFFNScratch(layout)
+	xm := tensor.FromSlice(1, cfg.Hidden, x)
+
+	for l := 0; l < cfg.Layers; l++ {
+		layer := r.w.Layers[l].Data()
+		preAttention(layout, layer, xm, []int{pos}, qkv)
+		row := qkv.Row(0)
+		if err := r.cache.Append(s, l, row[q:q+kv], row[q+kv:]); err != nil {
+			return err
+		}
+		ctx, err := r.cache.Gather(s, l, keys, values)
+		if err != nil {
+			return err
+		}
+		tensor.AttendOne(attnOut.Row(0), row[:q],
+			tensor.Mat{Rows: ctx, Cols: kv, Data: keys.Data[:ctx*kv]},
+			tensor.Mat{Rows: ctx, Cols: kv, Data: values.Data[:ctx*kv]},
+			cfg.QHeads, cfg.KVHeads, cfg.HeadDim, nil)
+		chosen := postAttention(layout, layer, attnOut, xm, scratch)
+		for _, e := range chosen[0] {
+			r.ExpertLoad[l][e]++
+		}
+	}
+	return nil
+}
+
+// ContextLen exposes the cached length of a sequence (for tests).
+func (r *Reference) ContextLen(s int) int { return r.cache.Len(s) }
+
+// PromptsFromRequests derives deterministic synthetic prompts from a
+// workload request set (token IDs hash from the request ID), so the
+// functional engines can run paper-shaped workloads.
+func PromptsFromRequests(reqs []workload.Request, vocab int) [][]int {
+	prompts := make([][]int, len(reqs))
+	for i, r := range reqs {
+		p := make([]int, r.PromptLen)
+		state := uint64(r.ID)*2654435761 + 12345
+		for j := range p {
+			state = state*6364136223846793005 + 1442695040888963407
+			p[j] = int(state>>33) % vocab
+		}
+		prompts[i] = p
+	}
+	return prompts
+}

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"fmt"
+
+	"moelightning/internal/batching"
+	"moelightning/internal/memory"
+	"moelightning/internal/workload"
+)
+
+// ServeConfig parameterizes wave-based batch serving: the whole request
+// queue is processed in waves, each wave formed by the Alg. 2 batcher
+// into balanced micro-batches and run through a fresh CGOPipe pipeline.
+type ServeConfig struct {
+	// NumMicroBatches and MicroBatchSize shape each wave (Alg. 2's n_ub
+	// and ubs).
+	NumMicroBatches int
+	MicroBatchSize  int
+	// GenLen is tokens to generate per request.
+	GenLen int
+	// CacheTokens is the per-micro-batch KV budget in tokens.
+	CacheTokens int
+	// MaxContext bounds any single sequence (prompt + generation).
+	MaxContext int
+	// Lookahead is the pipeline's CPU-attention lookahead.
+	Lookahead int
+	// Vocab sizes the synthetic prompts derived from request IDs.
+	Vocab int
+}
+
+// ServeResult is the outcome of serving a queue.
+type ServeResult struct {
+	// Outputs maps request ID to its generated tokens.
+	Outputs map[int][]int
+	// Waves is how many pipeline rounds ran.
+	Waves int
+	// Deferred counts requests that were pushed to a later wave at
+	// least once (Alg. 2's aborted list).
+	Deferred int
+	// Data-movement totals across all waves (float32 units / pages).
+	HtoDFloats, DtoHFloats, PagesMoved int64
+}
+
+// Serve drains the request queue through successive pipeline waves. The
+// weights live in their own arena and persist across waves; the GPU,
+// pinned and cache arenas are reset between waves (their regions die
+// with each wave's pipeline).
+func Serve(w *Weights, gpu, pinned, cacheArena *memory.Arena, queue []workload.Request, cfg ServeConfig) (ServeResult, error) {
+	res := ServeResult{Outputs: make(map[int][]int)}
+	if cfg.Vocab <= 0 {
+		cfg.Vocab = w.Cfg.VocabSize
+	}
+	deferredOnce := map[int]bool{}
+	pending := append([]workload.Request(nil), queue...)
+	for len(pending) > 0 {
+		bcfg := batching.Config{
+			NumMicroBatches: cfg.NumMicroBatches,
+			MicroBatchSize:  cfg.MicroBatchSize,
+			GenLen:          cfg.GenLen,
+			CacheTokens:     cfg.CacheTokens,
+		}
+		mbs, aborted, err := batching.Batch(pending, bcfg)
+		if err != nil {
+			return res, err
+		}
+		if len(mbs) == 0 {
+			return res, fmt.Errorf("engine: %d requests cannot fit any micro-batch (first prompt %d tokens)",
+				len(aborted), aborted[0].PromptLen)
+		}
+		for _, r := range aborted {
+			deferredOnce[r.ID] = true
+		}
+
+		// Flatten the wave: sequence index -> request, and the explicit
+		// micro-batch partition for the pipeline.
+		var waveReqs []workload.Request
+		var partition [][]int
+		for _, mb := range mbs {
+			group := make([]int, 0, len(mb.Requests))
+			for _, r := range mb.Requests {
+				group = append(group, len(waveReqs))
+				waveReqs = append(waveReqs, r)
+			}
+			partition = append(partition, group)
+		}
+		prompts := PromptsFromRequests(waveReqs, cfg.Vocab)
+
+		gpu.Reset()
+		pinned.Reset()
+		cacheArena.Reset()
+		pl, err := NewPipeline(w, gpu, pinned, cacheArena, len(waveReqs), Config{
+			MaxContext: cfg.MaxContext,
+			Lookahead:  cfg.Lookahead,
+			Partition:  partition,
+		})
+		if err != nil {
+			return res, fmt.Errorf("engine: wave %d: %w", res.Waves+1, err)
+		}
+		tokens, err := pl.Generate(prompts, cfg.GenLen)
+		res.HtoDFloats += pl.Counters.HtoDFloats.Load()
+		res.DtoHFloats += pl.Counters.DtoHFloats.Load()
+		res.PagesMoved += pl.Counters.PagesMoved.Load()
+		pl.Close()
+		if err != nil {
+			return res, fmt.Errorf("engine: wave %d: %w", res.Waves+1, err)
+		}
+		for i, r := range waveReqs {
+			res.Outputs[r.ID] = tokens[i]
+		}
+		res.Waves++
+		pending = aborted
+	}
+	res.Deferred = len(deferredOnce)
+	return res, nil
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"moelightning/internal/hardware"
+	"moelightning/internal/metrics"
+	"moelightning/internal/perfmodel"
+	"moelightning/internal/policy"
+	"moelightning/internal/workload"
+)
+
+// The disk-offloading extension (paper §C future work): when CPU memory
+// cannot hold the whole model, the cold weight share lives on an NVMe
+// tier and streams disk -> CPU -> GPU each pass, with the optimizer
+// choosing the split (r_w on GPU, r_d on disk, remainder in DRAM).
+
+// DiskRow is one point of the extension study.
+type DiskRow struct {
+	CPUMemGiB float64
+	Disk      string
+	Measurement
+}
+
+// DiskOffload sweeps CPU memory below the model size for Mixtral 8x7B
+// on the S1 GPU, with and without an NVMe tier. Without the disk, small
+// DRAM means no feasible policy; with it, the system degrades gracefully
+// as more weights fall off DRAM.
+func DiskOffload(memsGiB []float64) []DiskRow {
+	base := Settings()["S1"]
+	var rows []DiskRow
+	for _, gib := range memsGiB {
+		for _, disk := range []hardware.Disk{{}, hardware.NVMe(512)} {
+			spec := base.Spec
+			spec.CPU.MemBytes = hardware.GiB(gib)
+			spec.Disk = disk
+			in := perfmodel.Input{Model: base.Model, Spec: spec, Workload: workload.MTBench(128), Padded: true}
+			name := "none"
+			if disk.Present() {
+				name = disk.Name
+			}
+			m := Measurement{System: "MoE-Lightning(p)"}
+			res, err := policy.Optimize(in)
+			if err != nil {
+				m.Err = err
+			} else {
+				m = RunPolicy(MoELightningP(), in, res.Policy)
+			}
+			rows = append(rows, DiskRow{CPUMemGiB: gib, Disk: name, Measurement: m})
+		}
+	}
+	return rows
+}
+
+// RenderDiskOffload prints the sweep.
+func RenderDiskOffload(rows []DiskRow) string {
+	t := metrics.Table{Header: []string{"CPU GiB", "disk", "tok/s", "policy"}}
+	for _, r := range rows {
+		if r.Failed() {
+			t.Add(r.CPUMemGiB, r.Disk, "infeasible", "-")
+			continue
+		}
+		t.Add(r.CPUMemGiB, r.Disk, r.TokensPerSecond, r.Policy.String())
+	}
+	return fmt.Sprintf("Disk offloading extension (§C): Mixtral 8x7B on T4, MTBench gen=128\n%s", t.String())
+}

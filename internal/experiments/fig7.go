@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"moelightning/internal/metrics"
+	"moelightning/internal/workload"
+)
+
+// Figure7Row is one bar of Fig. 7: a system's generation throughput on
+// MTBench at a setting and generation length.
+type Figure7Row struct {
+	Setting string
+	GenLen  int
+	Measurement
+}
+
+// Figure7 reproduces the end-to-end MTBench evaluation (Fig. 7): every
+// baseline system across the requested settings and generation lengths.
+// The paper shows MoE-Lightning's unpadded numbers only for S1 and S2
+// (its footnote 8); we emit them everywhere.
+func Figure7(settingNames []string, genLens []int) ([]Figure7Row, error) {
+	var rows []Figure7Row
+	for _, name := range settingNames {
+		setting, err := Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, gen := range genLens {
+			in := setting.Input(workload.MTBench(gen))
+			for _, sys := range Baselines() {
+				m := Run(sys, in)
+				rows = append(rows, Figure7Row{Setting: name, GenLen: gen, Measurement: m})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderFigure7 prints Fig. 7 as one table per setting, systems as
+// columns and generation lengths as rows (the paper's bar groups).
+func RenderFigure7(rows []Figure7Row) string {
+	bySetting := map[string]map[int]map[string]Figure7Row{}
+	var settings []string
+	var gens []int
+	sysSet := map[string]bool{}
+	for _, r := range rows {
+		if bySetting[r.Setting] == nil {
+			bySetting[r.Setting] = map[int]map[string]Figure7Row{}
+			settings = append(settings, r.Setting)
+		}
+		if bySetting[r.Setting][r.GenLen] == nil {
+			bySetting[r.Setting][r.GenLen] = map[string]Figure7Row{}
+		}
+		bySetting[r.Setting][r.GenLen][r.System] = r
+		sysSet[r.System] = true
+	}
+	for g := range bySetting[settings[0]] {
+		gens = append(gens, g)
+	}
+	sort.Ints(gens)
+	systems := presentationOrder(sysSet)
+
+	out := ""
+	for _, s := range settings {
+		t := metrics.Table{Header: append([]string{"gen_len"}, systems...)}
+		for _, g := range gens {
+			cells := []interface{}{g}
+			for _, sys := range systems {
+				r, ok := bySetting[s][g][sys]
+				switch {
+				case !ok:
+					cells = append(cells, "-")
+				case r.Failed():
+					cells = append(cells, "fail")
+				default:
+					cells = append(cells, r.TokensPerSecond)
+				}
+			}
+			t.Add(cells...)
+		}
+		out += fmt.Sprintf("Figure 7: MTBench @ %s (tokens/s)\n%s\n", s, t.String())
+	}
+	return out
+}
+
+// presentationOrder sorts systems in the paper's legend order.
+func presentationOrder(set map[string]bool) []string {
+	order := []string{"FlexGen", "FlexGen(c)", "DeepSpeed", "MoE-Lightning(p)", "MoE-Lightning"}
+	var out []string
+	for _, s := range order {
+		if set[s] {
+			out = append(out, s)
+		}
+	}
+	var rest []string
+	for s := range set {
+		if !contains(out, s) {
+			rest = append(rest, s)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+func contains(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"moelightning/internal/metrics"
+	"moelightning/internal/perfmodel"
+	"moelightning/internal/policy"
+	"moelightning/internal/workload"
+)
+
+// Latency-regime study (§3.3): "for many latency-oriented applications
+// where users may only have one or two prompts ... it is more beneficial
+// to have a static weights placement strategy and perform the
+// computation where the data is located instead of swapping the weights
+// back and forth." We sweep the batch size from 1 to the throughput
+// regime and record when the optimizer flips F_g from static placement
+// (CPU FFN for the CPU-resident share) to weight streaming.
+
+// LatencyRow is one batch-size point.
+type LatencyRow struct {
+	Batch  int
+	Policy perfmodel.Policy
+	// TokensPerSecond is the estimated generation rate at this batch.
+	TokensPerSecond float64
+	// StaticPlacement is true when the chosen policy computes the FFN
+	// where the weights live (F_g = 0).
+	StaticPlacement bool
+	Err             error
+}
+
+// LatencyRegime sweeps the request count on the S2 (L4) setting with
+// the static-placement option enabled, mirroring the §3.3 case study.
+func LatencyRegime(batches []int) []LatencyRow {
+	setting := Settings()["S2"]
+	var rows []LatencyRow
+	for _, n := range batches {
+		wl := workload.Config{
+			Name: "latency", AvgPrompt: 512, MaxPrompt: 512, MinPrompt: 512,
+			GenLen: 32, NumRequests: n,
+		}
+		in := setting.Input(wl)
+		res, err := policy.Optimize(in, policy.WithCPUFFNAllowed())
+		row := LatencyRow{Batch: n, Err: err}
+		if err == nil {
+			row.Policy = res.Policy
+			row.TokensPerSecond = res.Report.TokensPerSecond
+			row.StaticPlacement = !res.Policy.GPUFFN
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderLatencyRegime prints the sweep.
+func RenderLatencyRegime(rows []LatencyRow) string {
+	t := metrics.Table{Header: []string{"requests", "tok/s", "FFN placement", "policy"}}
+	for _, r := range rows {
+		if r.Err != nil {
+			t.Add(r.Batch, "fail", "-", "-")
+			continue
+		}
+		place := "stream to GPU"
+		if r.StaticPlacement {
+			place = "static (compute in place)"
+		}
+		t.Add(r.Batch, r.TokensPerSecond, place, r.Policy.String())
+	}
+	return fmt.Sprintf("Latency regime (§3.3): Mixtral 8x7B on L4, prompt 512, gen 32\n%s", t.String())
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"moelightning/internal/metrics"
+	"moelightning/internal/model"
+	"moelightning/internal/perfmodel"
+	"moelightning/internal/policy"
+	"moelightning/internal/workload"
+)
+
+// Quantization study (the paper's §3.3 discusses int4 KV raising
+// attention's operational intensity; FlexGen ships 4-bit compression):
+// sweep weight and KV dtypes and measure the end-to-end effect. Lower
+// precision shrinks both the streamed bytes (weights) and the CPU
+// attention traffic (KV), shifting every roofline.
+
+// QuantRow is one dtype combination's result.
+type QuantRow struct {
+	Weights, KV model.DType
+	Measurement
+}
+
+// Quantization measures MoE-Lightning(p) on MTBench @ S1 across dtype
+// combinations. Compute stays in full precision (as the paper notes for
+// int4: "the computation is still done in float32").
+func Quantization() []QuantRow {
+	base := Settings()["S1"]
+	var rows []QuantRow
+	for _, wdt := range []model.DType{model.F16, model.Int8, model.Int4} {
+		for _, kvdt := range []model.DType{model.F16, model.Int4} {
+			cfg := base.Model
+			cfg.WeightDType = wdt
+			cfg.KVDType = kvdt
+			in := perfmodel.Input{Model: cfg, Spec: base.Spec, Workload: workload.MTBench(128), Padded: true}
+			m := Measurement{System: "MoE-Lightning(p)"}
+			res, err := policy.Optimize(in)
+			if err != nil {
+				m.Err = err
+			} else {
+				m = RunPolicy(MoELightningP(), in, res.Policy)
+			}
+			rows = append(rows, QuantRow{Weights: wdt, KV: kvdt, Measurement: m})
+		}
+	}
+	return rows
+}
+
+// RenderQuantization prints the dtype sweep.
+func RenderQuantization(rows []QuantRow) string {
+	t := metrics.Table{Header: []string{"weights", "kv", "tok/s", "policy"}}
+	for _, r := range rows {
+		if r.Failed() {
+			t.Add(r.Weights.String(), r.KV.String(), "infeasible", "-")
+			continue
+		}
+		t.Add(r.Weights.String(), r.KV.String(), r.TokensPerSecond, r.Policy.String())
+	}
+	return fmt.Sprintf("Quantization extension: Mixtral 8x7B on T4, MTBench gen=128\n%s", t.String())
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"moelightning/internal/hardware"
+	"moelightning/internal/model"
+	"moelightning/internal/perfmodel"
+	"moelightning/internal/workload"
+)
+
+// Setting pairs a model with hardware, per Tab. 2.
+type Setting struct {
+	Name  string
+	Model model.Config
+	Spec  hardware.Spec
+}
+
+// Settings returns the paper's evaluation settings (Tab. 2).
+func Settings() map[string]Setting {
+	return map[string]Setting{
+		"S1": {"S1", model.Mixtral8x7B(), hardware.S1()},
+		"S2": {"S2", model.Mixtral8x7B(), hardware.S2()},
+		"S6": {"S6", model.Mixtral8x22B(), hardware.S6()},
+		"S7": {"S7", model.Mixtral8x22B(), hardware.S7()},
+		"S8": {"S8", model.DBRX(), hardware.S8()},
+		"S9": {"S9", model.DBRX(), hardware.S9()},
+	}
+}
+
+// SettingNames returns setting names in presentation order.
+func SettingNames() []string {
+	names := make([]string, 0, len(Settings()))
+	for n := range Settings() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup resolves a setting by name.
+func Lookup(name string) (Setting, error) {
+	s, ok := Settings()[name]
+	if !ok {
+		return Setting{}, fmt.Errorf("experiments: unknown setting %q (have %v)", name, SettingNames())
+	}
+	return s, nil
+}
+
+// Input assembles a perfmodel input for a setting and workload.
+func (s Setting) Input(w workload.Config) perfmodel.Input {
+	return perfmodel.Input{Model: s.Model, Spec: s.Spec, Workload: w}
+}

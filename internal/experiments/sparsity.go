@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"moelightning/internal/metrics"
+	"moelightning/internal/perfmodel"
+	"moelightning/internal/policy"
+	"moelightning/internal/workload"
+)
+
+// KV-sparsity study (§C future work: "when CPU attention emerges as the
+// bottleneck, the KV cache budget can be adjusted to better balance CPU
+// and GPU computation"). A Quest/H2O-style kernel reads only the top
+// fraction of the cached context; we sweep that budget on a workload
+// where CPU attention binds.
+
+// SparsityRow is one KV-budget result.
+type SparsityRow struct {
+	Budget float64
+	Measurement
+	// CPUAttnShare is CPU attention's share of the per-layer critical
+	// path at mid-generation (diagnostic).
+	CPUAttnShare float64
+}
+
+// KVSparsity measures MoE-Lightning(p) on the long-context HELM
+// summarization workload across attention budgets, on an S2 variant
+// whose CPU is a quarter of the Xeon's (a desktop-class host) — the §C
+// scenario where CPU attention is the bottleneck. The optimizer re-runs
+// per budget, so a cheaper attention kernel lets it re-balance toward
+// larger batches (the paper's "adjust the KV cache budget to better
+// balance CPU and GPU computation").
+func KVSparsity(budgets []float64) ([]SparsityRow, error) {
+	setting := Settings()["S2"]
+	setting.Spec.CPU.MemBandwidth /= 4
+	setting.Spec.CPU.PeakFLOPS /= 4
+	setting.Spec.CPU.Name = "desktop-CPU"
+	in := setting.Input(workload.Summarization())
+	in.Padded = true
+	e, err := perfmodel.New(in)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SparsityRow
+	for _, b := range budgets {
+		res, err := policy.Optimize(in, policy.WithKVBudget(b))
+		if err != nil {
+			return nil, err
+		}
+		p := res.Policy
+		m := RunPolicy(MoELightningP(), in, p)
+		lt := e.DecodeLayer(p, in.MidContext())
+		share := 0.0
+		if c := lt.Critical(); c > 0 {
+			share = lt.CPUAttn / c
+		}
+		rows = append(rows, SparsityRow{Budget: b, Measurement: m, CPUAttnShare: share})
+	}
+	return rows, nil
+}
+
+// RenderKVSparsity prints the sweep.
+func RenderKVSparsity(rows []SparsityRow) string {
+	t := metrics.Table{Header: []string{"KV budget", "tok/s", "CPU-attn share of critical path"}}
+	for _, r := range rows {
+		if r.Failed() {
+			t.Add(r.Budget, "fail", "-")
+			continue
+		}
+		t.Add(r.Budget, r.TokensPerSecond, fmt.Sprintf("%.0f%%", 100*r.CPUAttnShare))
+	}
+	return "KV-sparsity extension (§C): Mixtral 8x7B on L4, HELM summarization\n" + t.String()
+}

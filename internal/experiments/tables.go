@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"moelightning/internal/metrics"
+	"moelightning/internal/perfmodel"
+	"moelightning/internal/policy"
+	"moelightning/internal/workload"
+)
+
+// Table4Row is one cell group of Tab. 4: a system's throughput and
+// policy (μ, N/μ) on a HELM task under S1 or S2.
+type Table4Row struct {
+	Task    string
+	Setting string
+	Measurement
+}
+
+// Table4 reproduces the HELM evaluation (Tab. 4): synthetic reasoning
+// and summarization under S1 and S2 for FlexGen(c), FlexGen, DeepSpeed
+// and MoE-Lightning(p).
+func Table4() ([]Table4Row, error) {
+	tasks := []struct {
+		name string
+		cfg  workload.Config
+	}{
+		{"SyntheticReasoning", workload.SyntheticReasoning()},
+		{"Summarization", workload.Summarization()},
+	}
+	systems := []System{FlexGenC(), FlexGen(), DeepSpeed(), MoELightningP()}
+	var rows []Table4Row
+	for _, task := range tasks {
+		for _, name := range []string{"S1", "S2"} {
+			setting, err := Lookup(name)
+			if err != nil {
+				return nil, err
+			}
+			in := setting.Input(task.cfg)
+			for _, sys := range systems {
+				m := Run(sys, in)
+				rows = append(rows, Table4Row{Task: task.name, Setting: name, Measurement: m})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable4 prints Tab. 4's layout: per task and setting, each
+// system's throughput, μ and N/μ.
+func RenderTable4(rows []Table4Row) string {
+	out := ""
+	byKey := map[string][]Table4Row{}
+	var keys []string
+	for _, r := range rows {
+		k := r.Task + " @ " + r.Setting
+		if byKey[k] == nil {
+			keys = append(keys, k)
+		}
+		byKey[k] = append(byKey[k], r)
+	}
+	for _, k := range keys {
+		t := metrics.Table{Header: []string{"System", "Throughput", "mu", "N/mu"}}
+		for _, r := range byKey[k] {
+			if r.Failed() {
+				t.Add(r.System, "fail", "-", "-")
+				continue
+			}
+			t.Add(r.System, r.TokensPerSecond, r.Policy.Mu, r.Policy.MicroBatches())
+		}
+		out += fmt.Sprintf("Table 4: %s\n%s\n", k, t.String())
+	}
+	return out
+}
+
+// Table5Row is one ablation row of Tab. 5.
+type Table5Row struct {
+	Label string
+	Measurement
+}
+
+// Table5 reproduces the optimizer ablation (Tab. 5) on MTBench @ S1
+// with generation length 128, using the paper's published policies
+// verbatim: FlexGen with its own policy (μ=8, N=1112), FlexGen with our
+// policy (μ=36, N=504), FlexGen with our policy at the enlarged batch
+// (μ=36, N=1116), and MoE-Lightning (p) executing the same (μ=36,
+// N=504) under CGOPipe. Per §6.1, FlexGen runs without CPU attention
+// throughout.
+func Table5() ([]Table5Row, error) {
+	setting, err := Lookup("S1")
+	if err != nil {
+		return nil, err
+	}
+	in := setting.Input(workload.MTBench(128))
+	in.Padded = true
+
+	fgPolicy := func(n, mu int) perfmodel.Policy {
+		return perfmodel.Policy{N: n, Mu: mu, GPUAttn: true, GPUFFN: true}
+	}
+	fg := FlexGen()
+	rows := []Table5Row{
+		{"FlexGen w/ their policy", RunPolicy(fg, in, fgPolicy(1112, 8))},
+		{"FlexGen w/ our policy", RunPolicy(fg, in, fgPolicy(504, 36))},
+		{"FlexGen w/ our policy + larger N", RunPolicy(fg, in, fgPolicy(1116, 36))},
+		{"MoE-Lightning (p)", RunPolicy(MoELightningP(), in,
+			perfmodel.Policy{N: 504, Mu: 36, GPUFFN: true})},
+	}
+	return rows, nil
+}
+
+// Table5Optimized is the companion row set where each system runs its
+// own planner's policy instead of the paper's pinned values (what this
+// reproduction's optimizer would actually choose).
+func Table5Optimized() ([]Table5Row, error) {
+	setting, err := Lookup("S1")
+	if err != nil {
+		return nil, err
+	}
+	in := setting.Input(workload.MTBench(128))
+	in.Padded = true
+	theirPolicy, err := policy.FlexGenTheirPolicy(in)
+	if err != nil {
+		return nil, err
+	}
+	ours, err := policy.FlexGenOurPolicy(in)
+	if err != nil {
+		return nil, err
+	}
+	ml, err := policy.Optimize(in)
+	if err != nil {
+		return nil, err
+	}
+	fg := FlexGen()
+	return []Table5Row{
+		{"FlexGen w/ their policy (planned)", RunPolicy(fg, in, theirPolicy)},
+		{"FlexGen w/ our policy (planned)", RunPolicy(fg, in, ours.Policy)},
+		{"MoE-Lightning (p) (planned)", RunPolicy(MoELightningP(), in, ml.Policy)},
+	}, nil
+}
+
+// RenderTable5 prints Tab. 5 with speedups over the first row.
+func RenderTable5(rows []Table5Row) string {
+	t := metrics.Table{Header: []string{"Variant", "mu", "N", "Throughput (tok/s)", "Speedup"}}
+	var base float64
+	for i, r := range rows {
+		if r.Failed() {
+			t.Add(r.Label, "-", "-", "fail", "-")
+			continue
+		}
+		if i == 0 {
+			base = r.TokensPerSecond
+		}
+		t.Add(r.Label, r.Policy.Mu, r.Policy.N, r.TokensPerSecond,
+			fmt.Sprintf("%.2fx", r.TokensPerSecond/base))
+	}
+	return "Table 5: policy ablation (MTBench @ S1, gen=128)\n" + t.String()
+}

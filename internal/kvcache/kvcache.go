@@ -1,0 +1,140 @@
+// Package kvcache implements the CPU-resident paged KV cache (§2.2,
+// A.1): per-sequence, per-layer block lists over a fixed pool of
+// fixed-size blocks, so memory is allocated in pages rather than
+// max-length slabs and capacity accounting is exact.
+package kvcache
+
+import (
+	"fmt"
+
+	"moelightning/internal/memory"
+	"moelightning/internal/tensor"
+)
+
+// Cache is a paged KV cache for one model: Layers x sequences, each a
+// list of blocks of BlockTokens tokens, each token kvDim floats for K
+// and kvDim for V.
+type Cache struct {
+	layers      int
+	kvDim       int
+	blockTokens int
+
+	pool   []memory.Region // free blocks
+	arena  *memory.Arena
+	blocks map[seqLayer][]memory.Region
+	length map[seqLayer]int // tokens appended per sequence per layer
+}
+
+type seqLayer struct{ seq, layer int }
+
+// blockFloats is the size of one block in floats (K and V halves).
+func (c *Cache) blockFloats() int { return c.blockTokens * c.kvDim * 2 }
+
+// New builds a cache drawing from the given arena, pre-allocating
+// capacityTokens worth of blocks per layer.
+func New(arena *memory.Arena, layers, kvDim, blockTokens, capacityTokens int) (*Cache, error) {
+	if layers <= 0 || kvDim <= 0 || blockTokens <= 0 {
+		return nil, fmt.Errorf("kvcache: invalid geometry layers=%d kvDim=%d block=%d", layers, kvDim, blockTokens)
+	}
+	c := &Cache{
+		layers:      layers,
+		kvDim:       kvDim,
+		blockTokens: blockTokens,
+		arena:       arena,
+		blocks:      make(map[seqLayer][]memory.Region),
+		length:      make(map[seqLayer]int),
+	}
+	numBlocks := (capacityTokens + blockTokens - 1) / blockTokens * layers
+	for i := 0; i < numBlocks; i++ {
+		r, err := arena.Alloc(c.blockFloats())
+		if err != nil {
+			return nil, fmt.Errorf("kvcache: preallocating block %d of %d: %w", i, numBlocks, err)
+		}
+		c.pool = append(c.pool, r)
+	}
+	return c, nil
+}
+
+// FreeBlocks returns the number of unallocated blocks.
+func (c *Cache) FreeBlocks() int { return len(c.pool) }
+
+// Len returns the cached context length of a sequence (its layer-0
+// length; layers may transiently differ mid-step during pipelined
+// decode).
+func (c *Cache) Len(seq int) int { return c.length[seqLayer{seq, 0}] }
+
+// LayerLen returns the appended token count of one sequence at one
+// layer.
+func (c *Cache) LayerLen(seq, layer int) int { return c.length[seqLayer{seq, layer}] }
+
+// Append stores one token's K and V (each kvDim floats) for a sequence
+// at a layer, at that layer's next position. Each (sequence, layer)
+// stream advances independently, which supports both token-at-a-time
+// decode and layer-at-a-time prefill.
+func (c *Cache) Append(seq, layer int, k, v []float32) error {
+	if len(k) != c.kvDim || len(v) != c.kvDim {
+		return fmt.Errorf("kvcache: k/v dim %d/%d != %d", len(k), len(v), c.kvDim)
+	}
+	if layer < 0 || layer >= c.layers {
+		return fmt.Errorf("kvcache: layer %d out of %d", layer, c.layers)
+	}
+	key := seqLayer{seq, layer}
+	pos := c.length[key]
+	c.length[key] = pos + 1
+	blocks := c.blocks[key]
+	bi := pos / c.blockTokens
+	if bi == len(blocks) {
+		if len(c.pool) == 0 {
+			return fmt.Errorf("kvcache: out of blocks (seq %d layer %d pos %d)", seq, layer, pos)
+		}
+		blocks = append(blocks, c.pool[len(c.pool)-1])
+		c.pool = c.pool[:len(c.pool)-1]
+		c.blocks[key] = blocks
+	}
+	if bi >= len(blocks) {
+		return fmt.Errorf("kvcache: non-contiguous append at pos %d (have %d blocks)", pos, len(blocks))
+	}
+	off := (pos % c.blockTokens) * c.kvDim * 2
+	data := blocks[bi].Data()
+	copy(data[off:off+c.kvDim], k)
+	copy(data[off+c.kvDim:off+2*c.kvDim], v)
+	return nil
+}
+
+// Gather materializes the K and V matrices [ctx, kvDim] for a sequence
+// at a layer into the provided matrices (the caller preallocates at
+// least LayerLen(seq, layer) rows).
+func (c *Cache) Gather(seq, layer int, keys, values tensor.Mat) (ctx int, err error) {
+	n := c.length[seqLayer{seq, layer}]
+	if keys.Rows < n || values.Rows < n || keys.Cols != c.kvDim || values.Cols != c.kvDim {
+		return 0, fmt.Errorf("kvcache: gather buffers too small: %dx%d for %d tokens of dim %d",
+			keys.Rows, keys.Cols, n, c.kvDim)
+	}
+	blocks := c.blocks[seqLayer{seq, layer}]
+	for pos := 0; pos < n; pos++ {
+		data := blocks[pos/c.blockTokens].Data()
+		off := (pos % c.blockTokens) * c.kvDim * 2
+		copy(keys.Row(pos), data[off:off+c.kvDim])
+		copy(values.Row(pos), data[off+c.kvDim:off+2*c.kvDim])
+	}
+	return n, nil
+}
+
+// Release frees every block of a sequence back to the pool.
+func (c *Cache) Release(seq int) {
+	for layer := 0; layer < c.layers; layer++ {
+		key := seqLayer{seq, layer}
+		c.pool = append(c.pool, c.blocks[key]...)
+		delete(c.blocks, key)
+		delete(c.length, key)
+	}
+}
+
+// UsedBlocks returns the number of blocks currently assigned.
+func (c *Cache) UsedBlocks() int {
+	n := 0
+	for _, b := range c.blocks {
+		n += len(b)
+	}
+	return n
+}

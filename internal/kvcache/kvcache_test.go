@@ -1,0 +1,168 @@
+package kvcache
+
+import (
+	"testing"
+
+	"moelightning/internal/memory"
+	"moelightning/internal/tensor"
+)
+
+func newCache(t *testing.T, layers, kvDim, block, capTokens int) *Cache {
+	t.Helper()
+	arena := memory.NewArena("cache", 1<<20)
+	c, err := New(arena, layers, kvDim, block, capTokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func vec(dim int, base float32) []float32 {
+	v := make([]float32, dim)
+	for i := range v {
+		v[i] = base + float32(i)
+	}
+	return v
+}
+
+func TestAppendGatherRoundTrip(t *testing.T) {
+	const layers, dim = 2, 4
+	c := newCache(t, layers, dim, 3, 32)
+	for pos := 0; pos < 7; pos++ {
+		for l := 0; l < layers; l++ {
+			k := vec(dim, float32(100*l+pos))
+			v := vec(dim, float32(1000*l+pos))
+			if err := c.Append(0, l, k, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if c.Len(0) != 7 {
+		t.Fatalf("len = %d", c.Len(0))
+	}
+	keys := tensor.NewMat(7, dim)
+	values := tensor.NewMat(7, dim)
+	for l := 0; l < layers; l++ {
+		ctx, err := c.Gather(0, l, keys, values)
+		if err != nil || ctx != 7 {
+			t.Fatalf("gather: ctx=%d err=%v", ctx, err)
+		}
+		for pos := 0; pos < 7; pos++ {
+			if keys.At(pos, 0) != float32(100*l+pos) {
+				t.Fatalf("layer %d pos %d key = %v", l, pos, keys.At(pos, 0))
+			}
+			if values.At(pos, 3) != float32(1000*l+pos)+3 {
+				t.Fatalf("layer %d pos %d value = %v", l, pos, values.At(pos, 3))
+			}
+		}
+	}
+}
+
+func TestLayerWisePrefillOrder(t *testing.T) {
+	// Appending a whole sequence at layer 0, then at layer 1, must work
+	// (the prefill pattern).
+	const dim = 2
+	c := newCache(t, 2, dim, 4, 16)
+	for l := 0; l < 2; l++ {
+		for pos := 0; pos < 5; pos++ {
+			if err := c.Append(0, l, vec(dim, float32(pos)), vec(dim, 0)); err != nil {
+				t.Fatalf("layer %d pos %d: %v", l, pos, err)
+			}
+		}
+		if c.LayerLen(0, l) != 5 {
+			t.Fatalf("layer %d len = %d", l, c.LayerLen(0, l))
+		}
+	}
+}
+
+func TestMultipleSequencesIsolated(t *testing.T) {
+	const dim = 2
+	c := newCache(t, 1, dim, 4, 64)
+	for s := 0; s < 3; s++ {
+		for pos := 0; pos < 4; pos++ {
+			if err := c.Append(s, 0, vec(dim, float32(10*s+pos)), vec(dim, 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	keys := tensor.NewMat(4, dim)
+	values := tensor.NewMat(4, dim)
+	for s := 0; s < 3; s++ {
+		if _, err := c.Gather(s, 0, keys, values); err != nil {
+			t.Fatal(err)
+		}
+		if keys.At(2, 0) != float32(10*s+2) {
+			t.Fatalf("seq %d key = %v", s, keys.At(2, 0))
+		}
+	}
+}
+
+func TestBlockExhaustion(t *testing.T) {
+	c := newCache(t, 1, 2, 2, 4) // 2 blocks of 2 tokens
+	for pos := 0; pos < 4; pos++ {
+		if err := c.Append(0, 0, vec(2, 0), vec(2, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Append(0, 0, vec(2, 0), vec(2, 0)); err == nil {
+		t.Fatal("want out-of-blocks error")
+	}
+}
+
+func TestRelease(t *testing.T) {
+	c := newCache(t, 2, 2, 2, 8)
+	free := c.FreeBlocks()
+	for l := 0; l < 2; l++ {
+		for pos := 0; pos < 4; pos++ {
+			if err := c.Append(0, l, vec(2, 0), vec(2, 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if c.UsedBlocks() == 0 {
+		t.Fatal("blocks not accounted")
+	}
+	c.Release(0)
+	if c.FreeBlocks() != free || c.UsedBlocks() != 0 {
+		t.Fatalf("release leaked: free=%d used=%d", c.FreeBlocks(), c.UsedBlocks())
+	}
+	if c.Len(0) != 0 {
+		t.Fatal("length survives release")
+	}
+	// Released blocks are reusable.
+	for pos := 0; pos < 4; pos++ {
+		if err := c.Append(1, 0, vec(2, 0), vec(2, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	c := newCache(t, 2, 4, 4, 8)
+	if err := c.Append(0, 0, vec(3, 0), vec(4, 0)); err == nil {
+		t.Error("wrong k dim accepted")
+	}
+	if err := c.Append(0, 5, vec(4, 0), vec(4, 0)); err == nil {
+		t.Error("bad layer accepted")
+	}
+	small := tensor.NewMat(1, 4)
+	c.Append(0, 0, vec(4, 0), vec(4, 0))
+	c.Append(0, 0, vec(4, 0), vec(4, 0))
+	if _, err := c.Gather(0, 0, small, small); err == nil {
+		t.Error("undersized gather buffer accepted")
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	arena := memory.NewArena("a", 1000)
+	if _, err := New(arena, 0, 4, 4, 8); err == nil {
+		t.Error("zero layers")
+	}
+	if _, err := New(arena, 1, 0, 4, 8); err == nil {
+		t.Error("zero dim")
+	}
+	tiny := memory.NewArena("tiny", 4)
+	if _, err := New(tiny, 1, 4, 4, 100); err == nil {
+		t.Error("arena too small for capacity")
+	}
+}

@@ -1,0 +1,128 @@
+package memory
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAllocAndExhaustion(t *testing.T) {
+	a := NewArena("test", 100)
+	r1, err := a.Alloc(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Len() != 60 || a.Used() != 60 {
+		t.Fatalf("len=%d used=%d", r1.Len(), a.Used())
+	}
+	if _, err := a.Alloc(50); err == nil {
+		t.Fatal("over-allocation accepted")
+	}
+	if _, err := a.Alloc(40); err != nil {
+		t.Fatalf("exact fit rejected: %v", err)
+	}
+	if a.Used() != 100 {
+		t.Fatalf("used = %d, want 100", a.Used())
+	}
+}
+
+func TestRegionsAreDisjoint(t *testing.T) {
+	a := NewArena("test", 100)
+	r1 := a.MustAlloc(50)
+	r2 := a.MustAlloc(50)
+	r1.Data()[0] = 1
+	r2.Data()[0] = 2
+	if r1.Data()[0] != 1 {
+		t.Fatal("regions alias")
+	}
+}
+
+func TestCopyBetweenArenas(t *testing.T) {
+	src := NewArena("cpu", 10).MustAlloc(10)
+	dst := NewArena("gpu", 10).MustAlloc(10)
+	for i := range src.Data() {
+		src.Data()[i] = float32(i)
+	}
+	Copy(dst, src)
+	for i, v := range dst.Data() {
+		if v != float32(i) {
+			t.Fatalf("copy[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestCopyLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	a := NewArena("a", 10)
+	Copy(a.MustAlloc(3), a.MustAlloc(4))
+}
+
+func TestSlice(t *testing.T) {
+	a := NewArena("a", 10)
+	r := a.MustAlloc(10)
+	s := r.Slice(2, 5)
+	if s.Len() != 3 {
+		t.Fatalf("slice len = %d", s.Len())
+	}
+	s.Data()[0] = 7
+	if r.Data()[2] != 7 {
+		t.Fatal("slice must view the parent region")
+	}
+}
+
+func TestSliceBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewArena("a", 10).MustAlloc(5).Slice(2, 9)
+}
+
+func TestReset(t *testing.T) {
+	a := NewArena("a", 10)
+	a.MustAlloc(10)
+	a.Reset()
+	if a.Used() != 0 {
+		t.Fatal("reset")
+	}
+	if _, err := a.Alloc(10); err != nil {
+		t.Fatal("alloc after reset")
+	}
+}
+
+func TestConcurrentAlloc(t *testing.T) {
+	a := NewArena("a", 1000)
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				a.MustAlloc(10)
+			}
+		}()
+	}
+	wg.Wait()
+	if a.Used() != 1000 {
+		t.Fatalf("used = %d, want 1000", a.Used())
+	}
+}
+
+func TestMustAllocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewArena("a", 1).MustAlloc(2)
+}
+
+func TestName(t *testing.T) {
+	if NewArena("gpu", 1).Name() != "gpu" {
+		t.Fatal("name")
+	}
+}

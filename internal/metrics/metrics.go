@@ -1,0 +1,199 @@
+// Package metrics renders experiment results as text: aligned tables,
+// log-log ASCII scatter plots (for the HRM figures), lane Gantt charts
+// (for the Fig. 6 schedule comparison) and heatmaps (for the Fig. 10
+// policy sweep). Everything writes plain strings so output diffs
+// cleanly in tests and logs.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders rows with aligned columns.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.2e", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is a named list of (x, y) points.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte
+}
+
+// LogLogPlot renders series on log10 axes — the HRM plane of Figs. 4-5.
+func LogLogPlot(title string, width, height int, series []Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 8 {
+		height = 8
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if s.X[i] <= 0 || s.Y[i] <= 0 {
+				continue
+			}
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if math.IsInf(xMin, 1) {
+		return title + "\n(no positive data)\n"
+	}
+	lx := func(v float64) float64 { return math.Log10(v) }
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		m := s.Marker
+		if m == 0 {
+			m = '*'
+		}
+		for i := range s.X {
+			if s.X[i] <= 0 || s.Y[i] <= 0 {
+				continue
+			}
+			cx := int((lx(s.X[i]) - lx(xMin)) / (lx(xMax) - lx(xMin) + 1e-12) * float64(width-1))
+			cy := int((lx(s.Y[i]) - lx(yMin)) / (lx(yMax) - lx(yMin) + 1e-12) * float64(height-1))
+			grid[height-1-cy][cx] = m
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "y: %.1e .. %.1e (log)\n", yMin, yMax)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "x: %.1e .. %.1e (log)\n", xMin, xMax)
+	for _, s := range series {
+		m := s.Marker
+		if m == 0 {
+			m = '*'
+		}
+		fmt.Fprintf(&b, "  %c %s\n", m, s.Name)
+	}
+	return b.String()
+}
+
+// Heatmap renders a matrix of values in [0, 1] using a shade ramp —
+// Fig. 10's policy maps. rows[i][j] < 0 marks a missing cell.
+func Heatmap(title string, rowLabels, colLabels []string, values [][]float64) string {
+	ramp := []byte(" .:-=+*#%@")
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	labelW := 0
+	for _, l := range rowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s ", labelW, "")
+	for _, c := range colLabels {
+		fmt.Fprintf(&b, "%3s", c)
+	}
+	b.WriteByte('\n')
+	for i, row := range values {
+		label := ""
+		if i < len(rowLabels) {
+			label = rowLabels[i]
+		}
+		fmt.Fprintf(&b, "%-*s ", labelW, label)
+		for _, v := range row {
+			if v < 0 {
+				b.WriteString("  ?")
+				continue
+			}
+			if v > 1 {
+				v = 1
+			}
+			idx := int(v * float64(len(ramp)-1))
+			fmt.Fprintf(&b, "  %c", ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("scale: ' '=0 ")
+	for i := 1; i < len(ramp); i++ {
+		fmt.Fprintf(&b, "'%c'=%.1f ", ramp[i], float64(i)/float64(len(ramp)-1))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"moelightning/internal/sim"
+)
+
+func TestTable(t *testing.T) {
+	tb := Table{Header: []string{"name", "value"}}
+	tb.Add("alpha", 12.345)
+	tb.Add("a-much-longer-name", 7)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines: %q", lines)
+	}
+	// All rows align to the widest cell.
+	w := len(lines[0])
+	for _, l := range lines[1:] {
+		if len(l) > w+8 {
+			t.Errorf("misaligned line %q", l)
+		}
+	}
+	if !strings.Contains(out, "12.3") {
+		t.Errorf("float formatting: %s", out)
+	}
+}
+
+func TestFormatFloatRanges(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{12345, "12345"},
+		{42.42, "42.4"},
+		{1.5, "1.500"},
+		{0.0001, "1.00e-04"},
+	} {
+		if got := formatFloat(tc.v); got != tc.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestLogLogPlot(t *testing.T) {
+	s := Series{Name: "line", X: []float64{1, 10, 100}, Y: []float64{1, 10, 100}, Marker: 'o'}
+	out := LogLogPlot("title", 40, 10, []Series{s})
+	if !strings.Contains(out, "title") || !strings.Contains(out, "o line") {
+		t.Errorf("plot: %s", out)
+	}
+	if strings.Count(out, "o") < 3 {
+		t.Error("points missing")
+	}
+	empty := LogLogPlot("t", 40, 10, []Series{{Name: "neg", X: []float64{-1}, Y: []float64{-1}}})
+	if !strings.Contains(empty, "no positive data") {
+		t.Error("negative data should yield the empty message")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap("hm", []string{"r1", "r2"}, []string{"a", "b"},
+		[][]float64{{0, 1}, {0.5, -1}})
+	if !strings.Contains(out, "hm") || !strings.Contains(out, "?") {
+		t.Errorf("heatmap: %s", out)
+	}
+	if !strings.Contains(out, "@") {
+		t.Error("full cell should use the densest shade")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	res, err := sim.Run([]sim.Task{
+		{ID: 1, Kind: "weights", Lane: sim.HtoD, Duration: 2},
+		{ID: 2, Kind: "gpu-block", Lane: sim.GPU, Duration: 1, Deps: []int{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Gantt("trace", res, 40)
+	if !strings.Contains(out, "W=weights") || !strings.Contains(out, "G=gpu-block") {
+		t.Errorf("legend: %s", out)
+	}
+	if !strings.Contains(out, "makespan=3.0000s") {
+		t.Errorf("makespan: %s", out)
+	}
+}
+
+func TestGanttUniqueLetters(t *testing.T) {
+	res, err := sim.Run([]sim.Task{
+		{ID: 1, Kind: "pin", Lane: sim.Pin, Duration: 1},
+		{ID: 2, Kind: "pre-attn", Lane: sim.GPU, Duration: 1},
+		{ID: 3, Kind: "post-attn", Lane: sim.GPU, Duration: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Gantt("t", res, 40)
+	legend := out[strings.Index(out, "legend:"):]
+	seen := map[byte]int{}
+	for _, part := range strings.Fields(legend)[1:] {
+		if len(part) > 2 && part[1] == '=' {
+			seen[part[0]]++
+		}
+	}
+	for ch, n := range seen {
+		if n > 1 {
+			t.Errorf("letter %c used %d times: %s", ch, n, legend)
+		}
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	if out := Gantt("t", sim.Result{}, 40); !strings.Contains(out, "empty") {
+		t.Error("empty result")
+	}
+}

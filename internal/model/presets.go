@@ -1,0 +1,63 @@
+package model
+
+// Architecture presets for the models evaluated in the paper (Tab. 2),
+// with dimensions from the public model cards.
+
+// Mixtral8x7B returns the Mixtral 8x7B architecture (~46.7B params).
+func Mixtral8x7B() Config {
+	return Config{
+		Name: "Mixtral-8x7B", Layers: 32,
+		Hidden: 4096, Intermediate: 14336,
+		QHeads: 32, KVHeads: 8, HeadDim: 128,
+		Experts: 8, TopK: 2,
+		VocabSize:   32000,
+		WeightDType: F16, KVDType: F16,
+	}
+}
+
+// Mixtral8x22B returns the Mixtral 8x22B architecture (~141B params).
+func Mixtral8x22B() Config {
+	return Config{
+		Name: "Mixtral-8x22B", Layers: 56,
+		Hidden: 6144, Intermediate: 16384,
+		QHeads: 48, KVHeads: 8, HeadDim: 128,
+		Experts: 8, TopK: 2,
+		VocabSize:   32768,
+		WeightDType: F16, KVDType: F16,
+	}
+}
+
+// DBRX returns the Databricks DBRX architecture (132B, 16 experts top-4).
+func DBRX() Config {
+	return Config{
+		Name: "DBRX", Layers: 40,
+		Hidden: 6144, Intermediate: 10752,
+		QHeads: 48, KVHeads: 8, HeadDim: 128,
+		Experts: 16, TopK: 4,
+		VocabSize:   100352,
+		WeightDType: F16, KVDType: F16,
+	}
+}
+
+// Tiny returns a laptop-scale MoE used by the functional engine tests
+// and examples: real math, same structure.
+func Tiny() Config {
+	return Config{
+		Name: "Tiny-MoE", Layers: 4,
+		Hidden: 64, Intermediate: 128,
+		QHeads: 8, KVHeads: 2, HeadDim: 8,
+		Experts: 4, TopK: 2,
+		VocabSize:   256,
+		WeightDType: F32, KVDType: F32,
+	}
+}
+
+// Presets returns all named configs, for CLI lookup.
+func Presets() map[string]Config {
+	return map[string]Config{
+		"mixtral-8x7b":  Mixtral8x7B(),
+		"mixtral-8x22b": Mixtral8x22B(),
+		"dbrx":          DBRX(),
+		"tiny":          Tiny(),
+	}
+}

@@ -1,0 +1,125 @@
+// Package paging implements the weight-paging scheme of §4.1 and A.1:
+// a layer's streamed weights are chunked into n pages (n = the number of
+// micro-batches in the pipeline), staged CPU -> pinned -> GPU, and the
+// GPU holds a double-buffered region of two layer slots so the next
+// layer's pages arrive while the current layer computes (Fig. 11).
+package paging
+
+import (
+	"fmt"
+
+	"moelightning/internal/memory"
+)
+
+// PageTable describes the page decomposition of one layer's streamed
+// weights: the layer region is split into NumPages near-equal pages,
+// page 1 first — the builders place the attention projections at the
+// front so pre-attention can start after a single page.
+type PageTable struct {
+	LayerFloats int
+	NumPages    int
+}
+
+// NewPageTable validates and builds a page table.
+func NewPageTable(layerFloats, numPages int) (PageTable, error) {
+	if layerFloats <= 0 || numPages <= 0 {
+		return PageTable{}, fmt.Errorf("paging: invalid table %d floats / %d pages", layerFloats, numPages)
+	}
+	if numPages > layerFloats {
+		numPages = layerFloats
+	}
+	return PageTable{LayerFloats: layerFloats, NumPages: numPages}, nil
+}
+
+// PageBounds returns the [lo, hi) float range of page p (0-based).
+// Pages differ in size by at most one float.
+func (t PageTable) PageBounds(p int) (lo, hi int) {
+	if p < 0 || p >= t.NumPages {
+		panic(fmt.Sprintf("paging: page %d out of %d", p, t.NumPages))
+	}
+	base := t.LayerFloats / t.NumPages
+	rem := t.LayerFloats % t.NumPages
+	lo = p*base + min(p, rem)
+	size := base
+	if p < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+// PageSize returns the size of page p in floats.
+func (t PageTable) PageSize(p int) int {
+	lo, hi := t.PageBounds(p)
+	return hi - lo
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// DoubleBuffer is the GPU-side weight region of A.1: two layer-sized
+// slots; while slot (l mod 2) serves layer l's kernels, pages for layer
+// l+1 land in the other slot.
+type DoubleBuffer struct {
+	slots [2]memory.Region
+	table PageTable
+}
+
+// NewDoubleBuffer carves 2 x layer slots out of the GPU arena.
+func NewDoubleBuffer(gpu *memory.Arena, table PageTable) (*DoubleBuffer, error) {
+	var db DoubleBuffer
+	db.table = table
+	for i := range db.slots {
+		r, err := gpu.Alloc(table.LayerFloats)
+		if err != nil {
+			return nil, fmt.Errorf("paging: slot %d: %w", i, err)
+		}
+		db.slots[i] = r
+	}
+	return &db, nil
+}
+
+// Slot returns the region serving layer l.
+func (db *DoubleBuffer) Slot(layer int) memory.Region {
+	return db.slots[layer%2]
+}
+
+// PageRegion returns the destination region of page p for layer l.
+func (db *DoubleBuffer) PageRegion(layer, page int) memory.Region {
+	lo, hi := db.table.PageBounds(page)
+	return db.Slot(layer).Slice(lo, hi)
+}
+
+// Table returns the page table.
+func (db *DoubleBuffer) Table() PageTable { return db.table }
+
+// Staging is the pinned-memory staging area: two layer-sized slots so
+// the CPU->pinned copy of layer l+1 overlaps the pinned->GPU DMA of
+// layer l's remaining pages (Fig. 11).
+type Staging struct {
+	slots [2]memory.Region
+	table PageTable
+}
+
+// NewStaging carves the pinned slots out of the pinned arena.
+func NewStaging(pinned *memory.Arena, table PageTable) (*Staging, error) {
+	var st Staging
+	st.table = table
+	for i := range st.slots {
+		r, err := pinned.Alloc(table.LayerFloats)
+		if err != nil {
+			return nil, fmt.Errorf("paging: pinned slot %d: %w", i, err)
+		}
+		st.slots[i] = r
+	}
+	return &st, nil
+}
+
+// PageRegion returns the pinned region of page p for layer l.
+func (st *Staging) PageRegion(layer, page int) memory.Region {
+	lo, hi := st.table.PageBounds(page)
+	return st.slots[layer%2].Slice(lo, hi)
+}

@@ -1,0 +1,83 @@
+package perfmodel
+
+// Component latencies consumed by the schedule builders and the Fig. 9
+// ablation. Each is a single-layer, single-micro-batch duration in
+// seconds.
+
+// PreAttnLatency is the layer-norm + QKV projection for one micro-batch.
+func (e *Estimator) PreAttnLatency(mu int) float64 {
+	c := e.In.Model.PreAttnCost(mu)
+	return e.gpuOpTime(c.FLOPs, c.Bytes(), mu)
+}
+
+// PostAttnLatency is the O projection + router + MoE FFN for one
+// micro-batch, including tensor-parallel all-reduces when the spec has
+// more than one GPU.
+func (e *Estimator) PostAttnLatency(mu int) float64 {
+	m := e.In.Model
+	c := m.PostAttnCost(mu, m.ExpertsTouched(mu))
+	t := e.gpuOpTime(c.FLOPs, c.Bytes(), mu)
+	return t + e.AllReduceLatency(mu)
+}
+
+// AllReduceLatency is the per-micro-batch cost of the two ring
+// all-reduces a tensor-parallel layer performs (zero for one GPU).
+func (e *Estimator) AllReduceLatency(mu int) float64 {
+	g := e.In.Spec.NumGPUs
+	if g <= 1 {
+		return 0
+	}
+	bytes := 2 * float64(g-1) / float64(g) * float64(e.In.Model.HiddenBytes(mu))
+	return 2 * bytes / e.In.Spec.GPUInterconnect.SustainedBandwidth()
+}
+
+// GPUAttnLatency is the attention core on GPU for one micro-batch (KV
+// already resident in HBM).
+func (e *Estimator) GPUAttnLatency(mu, context int) float64 {
+	c := e.In.Model.AttnCost(mu, context)
+	return e.gpuOpTime(c.FLOPs, c.Bytes(), mu)
+}
+
+// QKVOffloadLatency is the D1 transfer: one micro-batch's Q, K and V
+// from GPU to CPU.
+func (e *Estimator) QKVOffloadLatency(mu int) float64 {
+	return e.linkTime(float64(e.In.Model.QKVBytes(mu)))
+}
+
+// HiddenLoadLatency is the D2 transfer: one micro-batch's attention
+// output from CPU back to GPU.
+func (e *Estimator) HiddenLoadLatency(mu int) float64 {
+	return e.linkTime(float64(e.In.Model.HiddenBytes(mu)))
+}
+
+// KVStoreLatency is the write-back of one micro-batch's newly produced
+// K/V for one layer.
+func (e *Estimator) KVStoreLatency(mu int) float64 {
+	return e.linkTime(float64(mu) * e.In.Model.KVBytesPerTokenLayer())
+}
+
+// WeightStreamBytes is the portion of one layer's weights that crosses
+// the link each pass under policy p.
+func (e *Estimator) WeightStreamBytes(p Policy) float64 {
+	m := e.In.Model
+	if p.GPUFFN {
+		return float64(m.LayerWeightBytes()) * (1 - p.WeightsGPURatio)
+	}
+	return float64(m.AttnWeightBytes()) * (1 - p.WeightsGPURatio)
+}
+
+// WeightStreamLatency is the HtoD time of one layer's streamed weights.
+func (e *Estimator) WeightStreamLatency(p Policy) float64 {
+	return e.linkTime(e.WeightStreamBytes(p))
+}
+
+// PinBandwidth is the CPU-memory-to-pinned-staging copy rate: a memcpy
+// reads and writes DRAM, so it sustains half the DRAM bandwidth.
+func (e *Estimator) PinBandwidth() float64 {
+	return e.In.Spec.CPU.SustainedBandwidth() / 2
+}
+
+// PinLatency is the staging-copy time for the given bytes.
+func (e *Estimator) PinLatency(bytes float64) float64 {
+	return bytes / e.PinBandwidth()
+}

@@ -1,0 +1,218 @@
+package perfmodel
+
+import "math"
+
+// Estimator evaluates the performance model for one Input. The zero
+// value is not usable; construct with New.
+type Estimator struct {
+	In Input
+}
+
+// New returns an Estimator after validating the input.
+func New(in Input) (*Estimator, error) {
+	if err := in.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if err := in.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := in.Workload.Validate(); err != nil {
+		return nil, err
+	}
+	return &Estimator{In: in}, nil
+}
+
+// LayerTimes is the per-layer, whole-batch decode cost broken down by
+// lane (Eq. 13) and by component. All values are seconds.
+type LayerTimes struct {
+	// Lane totals: T = max of these is Eq. 12. Disk is the §C
+	// extension's third tier (zero without a disk).
+	HtoD, DtoH, GPU, CPU, Disk float64
+
+	// HtoD components.
+	WeightXfer, KVXfer, HiddenXfer float64
+	// DtoH components.
+	QKVXfer, KVWriteback float64
+	// GPU components.
+	PreAttn, PostAttn, GPUAttn, AllReduce float64
+	// CPU components.
+	CPUAttn, CPUFFN float64
+	// Disk components.
+	DiskXfer float64
+}
+
+// Critical returns the bottleneck lane time, Eq. 12:
+// max(comm_cpu_to_gpu, T_cpu, T_gpu) extended with the DtoH and disk
+// lanes.
+func (t LayerTimes) Critical() float64 {
+	m := math.Max(math.Max(t.HtoD, t.DtoH), math.Max(t.GPU, t.CPU))
+	return math.Max(m, t.Disk)
+}
+
+// gpuOpTime applies Eq. 8 on the GPU — max(flops/P_eff(mu), bytes/B) —
+// plus the fixed kernel dispatch overhead.
+func (e *Estimator) gpuOpTime(flops, bytes float64, mu int) float64 {
+	s := e.In.Spec
+	p := s.TotalGPUFLOPSAt(mu)
+	b := s.TotalGPUBandwidth()
+	return math.Max(flops/p, bytes/b) + s.GPU.LaunchOverhead
+}
+
+// cpuOpTime applies Eq. 8 on the CPU.
+func (e *Estimator) cpuOpTime(flops, bytes float64) float64 {
+	c := e.In.Spec.CPU
+	return math.Max(flops/c.SustainedFLOPS(), bytes/c.SustainedBandwidth())
+}
+
+// linkTime is bytes over the aggregate CPU->GPU (or GPU->CPU) link.
+func (e *Estimator) linkTime(bytes float64) float64 {
+	return bytes / e.In.Spec.TotalLinkBandwidth()
+}
+
+// DecodeLayer computes the per-layer whole-batch decode cost at the
+// given context length under policy p.
+func (e *Estimator) DecodeLayer(p Policy, context int) LayerTimes {
+	m := e.In.Model
+	nb := float64(p.MicroBatches())
+	var t LayerTimes
+
+	// KV sparsity (§C extension): the attention kernel reads only a
+	// fraction of the cached context; transfers of the hot set shrink
+	// proportionally.
+	context = sparseContext(context, p)
+
+	// --- GPU lane: pre-attention and post-attention for every
+	// micro-batch (CGOPipe keeps projections and FFN on GPU whenever
+	// F_g; when !GPUFFN the FFN moves to the CPU and only the
+	// statically-placed r_w fraction runs on GPU).
+	pre := m.PreAttnCost(p.Mu)
+	t.PreAttn = nb * e.gpuOpTime(pre.FLOPs, pre.Bytes(), p.Mu)
+
+	post := m.PostAttnCost(p.Mu, m.ExpertsTouched(p.Mu))
+	if p.GPUFFN {
+		t.PostAttn = nb * e.gpuOpTime(post.FLOPs, post.Bytes(), p.Mu)
+	} else {
+		// Static split: r_w of the FFN on GPU, the rest on CPU, no
+		// weight streaming (§3.3 "static weights placement").
+		t.PostAttn = nb * e.gpuOpTime(post.FLOPs*p.WeightsGPURatio, post.Bytes()*p.WeightsGPURatio, p.Mu)
+		t.CPUFFN = nb * e.cpuOpTime(post.FLOPs*(1-p.WeightsGPURatio), post.Bytes()*(1-p.WeightsGPURatio))
+	}
+
+	// --- Attention core.
+	attn := m.AttnCost(p.Mu, context)
+	if p.GPUAttn {
+		t.GPUAttn = nb * e.gpuOpTime(attn.FLOPs, attn.Bytes(), p.Mu)
+		// The (1-r_c) cold fraction of the (sparsified) KV cache
+		// streams up per micro-batch.
+		kvBytes := float64(p.Mu) * float64(context) * m.KVBytesPerTokenLayer()
+		t.KVXfer = nb * e.linkTime(kvBytes*(1-p.KVGPURatio))
+		// Newly produced K/V for tokens whose cache lives on CPU write
+		// back down.
+		t.KVWriteback = nb * e.linkTime(float64(p.Mu)*m.KVBytesPerTokenLayer()*(1-p.KVGPURatio))
+	} else {
+		t.CPUAttn = nb * e.cpuOpTime(attn.FLOPs, attn.Bytes())
+		// D1: Q,K,V offload to CPU after the QKV projection.
+		t.QKVXfer = nb * e.linkTime(float64(m.QKVBytes(p.Mu)))
+		// D2: attention output returns to GPU.
+		t.HiddenXfer = nb * e.linkTime(float64(m.HiddenBytes(p.Mu)))
+	}
+
+	// --- Weight streaming (D3).
+	if p.GPUFFN {
+		t.WeightXfer = e.linkTime(float64(m.LayerWeightBytes()) * (1 - p.WeightsGPURatio))
+	} else {
+		// Attention projections still run on GPU; stream only those if
+		// they are not statically placed.
+		t.WeightXfer = e.linkTime(float64(m.AttnWeightBytes()) * (1 - p.WeightsGPURatio))
+	}
+
+	// --- Tensor-parallel all-reduce: two per layer (after O-projection
+	// and after FFN), ring all-reduce moving 2(g-1)/g of the hidden
+	// activations per micro-batch.
+	if g := e.In.Spec.NumGPUs; g > 1 {
+		bytes := 2 * float64(g-1) / float64(g) * float64(m.HiddenBytes(p.Mu))
+		per := 2 * bytes / e.In.Spec.GPUInterconnect.SustainedBandwidth()
+		t.AllReduce = nb * per
+	}
+
+	// --- Disk tier (§C extension): the r_d fraction of the layer's
+	// weights streams disk -> CPU each pass, overlapped with the link.
+	if p.WeightsDiskRatio > 0 && e.In.Spec.Disk.Present() {
+		t.DiskXfer = p.WeightsDiskRatio * float64(m.LayerWeightBytes()) / e.In.Spec.Disk.SustainedRead()
+	}
+
+	t.GPU = t.PreAttn + t.PostAttn + t.GPUAttn + t.AllReduce
+	t.CPU = t.CPUAttn + t.CPUFFN
+	t.HtoD = t.WeightXfer + t.KVXfer + t.HiddenXfer
+	t.DtoH = t.QKVXfer + t.KVWriteback
+	t.Disk = t.DiskXfer
+	return t
+}
+
+// DecodeStepTime is the ideal (fully pipelined) time for one decode step
+// over the whole model at the given context: Eq. 12 summed over layers.
+func (e *Estimator) DecodeStepTime(p Policy, context int) float64 {
+	return e.DecodeLayer(p, context).Critical() * float64(e.In.Model.Layers)
+}
+
+// PrefillTime estimates the prefill stage for the whole batch: all
+// computation on GPU, KV offloaded to CPU, weights streamed layer by
+// layer, everything overlapped (§4 footnote 7), so the stage cost is the
+// max lane time.
+func (e *Estimator) PrefillTime(p Policy) float64 {
+	m := e.In.Model
+	s := e.In.AvgPrompt()
+	totalTokens := p.N * s
+
+	cost := m.PrefillCost(totalTokens, s)
+	// Prefill kernels see mu*s tokens per launch: fully saturated.
+	gpu := e.gpuOpTime(cost.FLOPs, cost.Bytes(), p.Mu*s)
+
+	weights := e.linkTime(float64(m.TotalWeightBytes()) * (1 - p.WeightsGPURatio))
+	if p.WeightsDiskRatio > 0 && e.In.Spec.Disk.Present() {
+		disk := p.WeightsDiskRatio * float64(m.TotalWeightBytes()) / e.In.Spec.Disk.SustainedRead()
+		weights = math.Max(weights, disk)
+	}
+	kvDown := e.linkTime(float64(totalTokens) * m.KVBytesPerToken() * (1 - p.KVGPURatio))
+
+	var allReduce float64
+	if g := e.In.Spec.NumGPUs; g > 1 {
+		bytes := 2 * float64(g-1) / float64(g) * float64(m.HiddenBytes(totalTokens)) * float64(m.Layers)
+		allReduce = 2 * bytes / e.In.Spec.GPUInterconnect.SustainedBandwidth()
+	}
+
+	return math.Max(math.Max(gpu+allReduce, weights), kvDown)
+}
+
+// Component latencies used by the Fig. 9 ablation; all are single-layer,
+// single-micro-batch times.
+
+// CPUAttnLatency is one micro-batch of CPU attention at the context.
+func (e *Estimator) CPUAttnLatency(mu, context int) float64 {
+	a := e.In.Model.AttnCost(mu, context)
+	return e.cpuOpTime(a.FLOPs, a.Bytes())
+}
+
+// sparseContext applies the policy's KV budget to a context length.
+func sparseContext(context int, p Policy) int {
+	c := int(float64(context) * p.EffectiveKVBudget())
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// KVTransferLatency is the time to move one micro-batch's KV cache for
+// one layer from CPU pinned memory to GPU.
+func (e *Estimator) KVTransferLatency(mu, context int) float64 {
+	bytes := float64(mu) * float64(context) * e.In.Model.KVBytesPerTokenLayer()
+	return e.linkTime(bytes)
+}
+
+// FFNLatency is one micro-batch of the MoE FFN kernel on GPU (weights
+// already resident).
+func (e *Estimator) FFNLatency(mu int) float64 {
+	m := e.In.Model
+	post := m.PostAttnCost(mu, m.ExpertsTouched(mu))
+	return e.gpuOpTime(post.FLOPs, post.Bytes(), mu)
+}

@@ -1,0 +1,128 @@
+package perfmodel
+
+import "fmt"
+
+// Memory-footprint model: the constraints the policy optimizer must not
+// violate (§4.2 "without violating the CPU and GPU memory constraints").
+
+// MemBreakdown itemizes a device's footprint in bytes.
+type MemBreakdown struct {
+	Weights      int64 // statically resident weights
+	WeightBuffer int64 // double-buffered streaming slots (GPU) / pinned staging (CPU)
+	KVCache      int64
+	Activations  int64
+	Embeddings   int64
+}
+
+// Total sums the footprint.
+func (m MemBreakdown) Total() int64 {
+	return m.Weights + m.WeightBuffer + m.KVCache + m.Activations + m.Embeddings
+}
+
+// GPUMem computes the peak GPU footprint of policy p across prefill and
+// decode. For multi-GPU specs this is the aggregate across all shards
+// (tensor parallelism divides every term evenly).
+func (e *Estimator) GPUMem(p Policy) MemBreakdown {
+	m := e.In.Model
+	var b MemBreakdown
+
+	// Embedding + LM head stay resident so sampling never waits on I/O.
+	b.Embeddings = int64(2 * float64(m.VocabSize) * float64(m.Hidden) * m.WeightDType.Bytes())
+
+	b.Weights = int64(p.WeightsGPURatio * float64(m.TotalWeightBytes()))
+	if p.GPUFFN && p.WeightsGPURatio < 1 {
+		// Double buffer sized for the streamed portion of a layer (A.1).
+		b.WeightBuffer = 2 * int64((1-p.WeightsGPURatio)*float64(m.LayerWeightBytes()))
+	}
+
+	if p.GPUAttn {
+		b.KVCache = int64(p.KVGPURatio * float64(p.N) * float64(e.In.FinalContext()) * m.KVBytesPerToken())
+		if p.KVGPURatio < 1 {
+			// Staging buffer for one micro-batch's streamed KV (one layer).
+			b.KVCache += int64(2 * float64(p.Mu) * float64(e.In.FinalContext()) * m.KVBytesPerTokenLayer())
+		}
+	}
+
+	b.Activations = e.prefillWorkspace(p)
+	if dec := e.decodeWorkspace(p); dec > b.Activations {
+		b.Activations = dec
+	}
+	return b
+}
+
+// prefillWorkspace is the peak activation footprint while prefilling one
+// micro-batch of mu sequences at the maximum prompt length: hidden
+// states, QKV, FFN intermediates (tiled attention, no s^2 score matrix).
+func (e *Estimator) prefillWorkspace(p Policy) int64 {
+	m := e.In.Model
+	tokens := float64(p.Mu) * float64(e.In.Workload.MaxPrompt)
+	per := float64(m.Hidden)*3 + float64(m.QDim()+2*m.KVDim()) + 2*float64(m.Intermediate)
+	return int64(tokens * per * m.WeightDType.Bytes())
+}
+
+// decodeWorkspace is the peak activation footprint of one decode
+// micro-batch.
+func (e *Estimator) decodeWorkspace(p Policy) int64 {
+	m := e.In.Model
+	tokens := float64(p.Mu)
+	per := float64(m.Hidden)*3 + float64(m.QDim()+2*m.KVDim()) + 2*float64(m.Intermediate)*float64(m.TopK)
+	return int64(tokens * per * m.WeightDType.Bytes())
+}
+
+// CPUMem computes the peak CPU footprint of policy p. Disk-resident
+// weights (r_d) do not occupy DRAM beyond their streaming buffer.
+func (e *Estimator) CPUMem(p Policy) MemBreakdown {
+	m := e.In.Model
+	var b MemBreakdown
+
+	cpuShare := 1 - p.WeightsGPURatio - p.WeightsDiskRatio
+	b.Weights = int64(cpuShare * float64(m.TotalWeightBytes()))
+	// Pinned staging for CPU->pinned->GPU paging (A.1): two layer slots
+	// sized for everything that crosses the link, plus a double-buffered
+	// landing area for disk reads.
+	b.WeightBuffer = 2 * int64((1-p.WeightsGPURatio)*float64(m.LayerWeightBytes()))
+	b.WeightBuffer += 2 * int64(p.WeightsDiskRatio*float64(m.LayerWeightBytes()))
+
+	kvRatio := 1.0
+	if p.GPUAttn {
+		kvRatio = 1 - p.KVGPURatio
+	}
+	b.KVCache = int64(kvRatio * float64(p.N) * float64(e.In.FinalContext()) * m.KVBytesPerToken())
+
+	// Hidden/QKV staging for all in-flight micro-batches.
+	b.Activations = int64(3*float64(m.QKVBytes(p.N))) + m.HiddenBytes(p.N)
+	return b
+}
+
+// Feasible reports nil when the policy fits both memories and the
+// workload can fill the batch, or a descriptive error naming the
+// violated constraint.
+func (e *Estimator) Feasible(p Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.N > e.In.Workload.NumRequests {
+		return fmt.Errorf("perfmodel: batch %d exceeds workload's %d requests", p.N, e.In.Workload.NumRequests)
+	}
+	if g, cap := e.GPUMem(p).Total(), e.In.Spec.TotalGPUMem(); g > cap {
+		return fmt.Errorf("perfmodel: GPU memory %0.1f GiB exceeds %0.1f GiB (policy %v)",
+			gib(g), gib(cap), p)
+	}
+	if c, cap := e.CPUMem(p).Total(), e.In.Spec.CPU.MemBytes; c > cap {
+		return fmt.Errorf("perfmodel: CPU memory %0.1f GiB exceeds %0.1f GiB (policy %v)",
+			gib(c), gib(cap), p)
+	}
+	if p.WeightsDiskRatio > 0 {
+		if !e.In.Spec.Disk.Present() {
+			return fmt.Errorf("perfmodel: policy places weights on disk but %s has no disk tier", e.In.Spec.Name)
+		}
+		need := int64(p.WeightsDiskRatio * float64(e.In.Model.TotalWeightBytes()))
+		if need > e.In.Spec.Disk.Bytes {
+			return fmt.Errorf("perfmodel: disk share %0.1f GiB exceeds %0.1f GiB (policy %v)",
+				gib(need), gib(e.In.Spec.Disk.Bytes), p)
+		}
+	}
+	return nil
+}
+
+func gib(b int64) float64 { return float64(b) / (1 << 30) }

@@ -1,0 +1,166 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"moelightning/internal/hardware"
+	"moelightning/internal/model"
+	"moelightning/internal/workload"
+)
+
+// Physical-invariant property tests: the performance model must respond
+// to hardware and policy changes the way physics says it should —
+// faster links never slow decode, more GPUs never slow it, sparsity
+// never makes attention more expensive, quantization never increases
+// transfer times.
+
+func randPolicy(seedA, seedB uint16) Policy {
+	mus := []int{1, 8, 32, 64, 128}
+	mu := mus[int(seedA)%len(mus)]
+	n := mu * (1 + int(seedB)%16)
+	return Policy{
+		N: n, Mu: mu,
+		GPUAttn:         seedA%2 == 0,
+		GPUFFN:          true,
+		WeightsGPURatio: float64(seedB%10) / 20, // 0..0.45
+		KVGPURatio:      float64(seedA%5) / 4,
+	}
+}
+
+func TestFasterLinkNeverSlowsDecode(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p := randPolicy(a, b)
+		slow := s1Input()
+		fast := s1Input()
+		fast.Spec.Link.Bandwidth *= 2
+		es, err1 := New(slow)
+		ef, err2 := New(fast)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ef.DecodeStepTime(p, 512) <= es.DecodeStepTime(p, 512)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFasterCPUNeverSlowsDecode(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p := randPolicy(a, b)
+		slow := s1Input()
+		fast := s1Input()
+		fast.Spec.CPU.MemBandwidth *= 2
+		fast.Spec.CPU.PeakFLOPS *= 2
+		es, _ := New(slow)
+		ef, _ := New(fast)
+		return ef.DecodeStepTime(p, 512) <= es.DecodeStepTime(p, 512)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaticWeightsNeverIncreaseLinkTraffic(t *testing.T) {
+	e := s1Estimator(t)
+	f := func(a, b uint16, rwRaw uint8) bool {
+		p := randPolicy(a, b)
+		p.WeightsGPURatio = 0
+		base := e.DecodeLayer(p, 512).WeightXfer
+		p.WeightsGPURatio = float64(rwRaw%101) / 100
+		return e.DecodeLayer(p, 512).WeightXfer <= base+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparsityNeverIncreasesAttention(t *testing.T) {
+	e := s1Estimator(t)
+	f := func(a, b uint16, budgetRaw uint8) bool {
+		p := randPolicy(a, b)
+		dense := e.DecodeLayer(p, 1024)
+		p.KVBudget = float64(budgetRaw%100+1) / 100
+		sparse := e.DecodeLayer(p, 1024)
+		return sparse.CPUAttn <= dense.CPUAttn+1e-12 &&
+			sparse.GPUAttn <= dense.GPUAttn+1e-12 &&
+			sparse.KVXfer <= dense.KVXfer+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizationNeverIncreasesFootprints(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p := randPolicy(a, b)
+		in16 := s1Input()
+		in4 := s1Input()
+		in4.Model.WeightDType = model.Int4
+		in4.Model.KVDType = model.Int4
+		e16, _ := New(in16)
+		e4, _ := New(in4)
+		if e4.CPUMem(p).Total() > e16.CPUMem(p).Total() {
+			return false
+		}
+		if e4.GPUMem(p).Total() > e16.GPUMem(p).Total() {
+			return false
+		}
+		return e4.DecodeLayer(p, 512).WeightXfer <= e16.DecodeLayer(p, 512).WeightXfer+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoreGPUsNeverSlowPrefill(t *testing.T) {
+	in2 := Input{Model: model.Mixtral8x22B(), Spec: hardware.S6(), Workload: workload.MTBench(128), Padded: true}
+	in4 := in2
+	in4.Spec = hardware.S7()
+	e2, err := New(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e4, err := New(in4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint16) bool {
+		p := randPolicy(a, b)
+		return e4.PrefillTime(p) <= e2.PrefillTime(p)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThroughputPositiveForFeasiblePolicies(t *testing.T) {
+	e := s1Estimator(t)
+	f := func(a, b uint16) bool {
+		p := randPolicy(a, b)
+		if e.Feasible(p) != nil {
+			return true // vacuous
+		}
+		r := e.Throughput(p)
+		return r.TokensPerSecond > 0 && r.PrefillSeconds > 0 && r.DecodeSeconds > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCriticalIsMaxOfLanes(t *testing.T) {
+	e := s1Estimator(t)
+	f := func(a, b uint16, ctxRaw uint16) bool {
+		p := randPolicy(a, b)
+		ctx := 1 + int(ctxRaw)%4096
+		lt := e.DecodeLayer(p, ctx)
+		c := lt.Critical()
+		return c >= lt.GPU && c >= lt.CPU && c >= lt.HtoD && c >= lt.DtoH && c >= lt.Disk &&
+			(c == lt.GPU || c == lt.CPU || c == lt.HtoD || c == lt.DtoH || c == lt.Disk)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

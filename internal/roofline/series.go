@@ -1,0 +1,121 @@
+package roofline
+
+import (
+	"math"
+
+	"moelightning/internal/hardware"
+	"moelightning/internal/model"
+)
+
+// Plot-series builders for the paper's HRM figures. Each series is a set
+// of (intensity, performance) points in the log-log plane of Figs. 4-5.
+
+// Point is one sample of a roofline curve.
+type Point struct {
+	Intensity float64 // FLOPs/byte (x-axis)
+	Perf      float64 // FLOP/s (y-axis)
+}
+
+// Series is a named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// FromSpec builds the paper's GPU-over-CPU HRM from a hardware spec,
+// using sustained rates (CPU FLOPS is the paper's "CPU Peak FLOPS" roof;
+// attention on CPU runs in f32).
+func FromSpec(spec hardware.Spec) HRM {
+	return HRM{
+		Upper: Level{
+			Name:         spec.GPU.Name,
+			PeakFLOPS:    spec.GPU.SustainedFLOPS() * float64(spec.NumGPUs),
+			MemBandwidth: spec.TotalGPUBandwidth(),
+		},
+		Lower: Level{
+			Name:         spec.CPU.Name,
+			PeakFLOPS:    spec.CPU.SustainedFLOPS(),
+			MemBandwidth: spec.CPU.SustainedBandwidth(),
+		},
+		CrossBandwidth: spec.TotalLinkBandwidth(),
+	}
+}
+
+// Roofs samples the five roof lines of Figs. 4-5 (CPU mem bw, GPU mem
+// bw, CPU-GPU mem bw, CPU peak, GPU peak) over [iMin, iMax].
+func (h HRM) Roofs(iMin, iMax float64, n int) []Series {
+	xs := logspace(iMin, iMax, n)
+	mk := func(name string, f func(i float64) float64) Series {
+		s := Series{Name: name, Points: make([]Point, len(xs))}
+		for k, x := range xs {
+			s.Points[k] = Point{x, f(x)}
+		}
+		return s
+	}
+	return []Series{
+		mk("CPU Mem Bdw", func(i float64) float64 { return h.Lower.MemBandwidth * i }),
+		mk("GPU Mem Bdw", func(i float64) float64 { return h.Upper.MemBandwidth * i }),
+		mk("CPU-GPU Mem Bdw", func(i float64) float64 { return h.CrossBandwidth * i }),
+		mk("CPU Peak FLOPS", func(float64) float64 { return h.Lower.PeakFLOPS }),
+		mk("GPU Peak FLOPS", func(float64) float64 { return h.Upper.PeakFLOPS }),
+	}
+}
+
+// AttentionOp computes the operational intensity of the decode-stage
+// attention core for a model and context length (Fig. 4). Attention
+// intensity is independent of batch size (§3.3); the KV dtype sets the
+// bytes. The same intensity applies at both levels: whichever memory
+// holds the KV cache must stream it once.
+func AttentionOp(cfg model.Config, context int, kvDType model.DType) Op {
+	c := cfg
+	c.KVDType = kvDType
+	one := c.AttnCost(1, context)
+	return Op{
+		Name:   "Attention/" + kvDType.String(),
+		IUpper: one.Intensity(),
+		ILower: one.Intensity(),
+	}
+}
+
+// FFNOp computes the MoE FFN operational intensities for batch size n
+// (lower level: weights live on CPU and are streamed once per pass) and
+// micro-batch size mu (upper level: HBM re-reads weights once per
+// micro-batch) — the geometry of Fig. 5.
+func FFNOp(cfg model.Config, n, mu int) Op {
+	// Lower-level intensity: the whole batch's FFN FLOPs against one
+	// full read of the layer's expert weights from CPU memory.
+	full := cfg.PostAttnCost(n, cfg.Experts)
+	iLower := full.FLOPs / (float64(cfg.FFNWeightBytes()) + full.ActBytes)
+	// Upper-level intensity: one micro-batch's FLOPs against its HBM
+	// traffic (expert weights touched + activations).
+	mb := cfg.PostAttnCost(mu, cfg.ExpertsTouched(mu))
+	return Op{
+		Name:   "MoE-FFN",
+		IUpper: mb.Intensity(),
+		ILower: iLower,
+	}
+}
+
+// KernelCurve samples the attainable-performance curve for an op whose
+// lower intensity sweeps [iMin, iMax] at fixed upper intensity — the
+// orange "Kernel Perf. at μ=128" line of Fig. 5.
+func (h HRM) KernelCurve(iUpper, iMin, iMax float64, n int) Series {
+	xs := logspace(iMin, iMax, n)
+	s := Series{Name: "Kernel", Points: make([]Point, len(xs))}
+	for k, x := range xs {
+		s.Points[k] = Point{x, h.AttainableUpper(Op{IUpper: iUpper, ILower: x})}
+	}
+	return s
+}
+
+func logspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	llo, lhi := math.Log10(lo), math.Log10(hi)
+	for i := range out {
+		out[i] = math.Pow(10, llo+(lhi-llo)*float64(i)/float64(n-1))
+	}
+	return out
+}

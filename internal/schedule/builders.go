@@ -1,0 +1,264 @@
+package schedule
+
+import "moelightning/internal/sim"
+
+// buildLookahead emits the CGOPipe-family schedules: CPU attention for
+// slot g+ahead launched while the GPU works on slot g (Alg. 1 uses
+// ahead=2; S3 degrades to ahead=1). paged selects page-granular weight
+// transfers interleaved with hidden-state loads (CGOPipe) versus one
+// monolithic transfer per layer (S2/S3).
+//
+// Micro-batch slots are numbered globally: slot g = (layer-1)*MB + j.
+// Layer 1's weights are resident; pages for layers 2..L+1 stream during
+// the step (L+1 is the next step's first layer, so steady-state work is
+// one full pass).
+func buildLookahead(p Plan, ahead int, paged bool) []sim.Task {
+	if ahead > p.MicroBatches {
+		ahead = p.MicroBatches // avoid head-of-line deadlock at tiny MB counts
+	}
+	if ahead < 1 {
+		ahead = 1
+	}
+	x := newIDs()
+	var tasks []sim.Task
+	add := func(role string, l, j int, lane sim.Lane, dur float64, kind string, deps ...int) {
+		tasks = append(tasks, sim.Task{
+			ID:       x.id(role, l, j),
+			Name:     taskName(role, l, j),
+			Kind:     kind,
+			Lane:     lane,
+			Duration: dur,
+			Deps:     deps,
+		})
+	}
+	d := p.D
+	total := p.slots()
+
+	// preSlot emits the pre-attention chain (PreAttn -> QKV offload ->
+	// CPU attention) for slot g, plus the pinned-staging copy of the
+	// weight page that will ship at slot g.
+	preSlot := func(g int) {
+		l, j := p.slot(g)
+		var deps []int
+		if l > 1 {
+			// Hidden states come from the previous layer's post-attention.
+			if id, ok := x.lookup("post", l-1, j); ok {
+				deps = append(deps, id)
+			}
+			// QKV projection needs the layer's first weight page (the
+			// attention projections lead the page order).
+			if paged {
+				deps = append(deps, x.id("page", l, 1))
+			} else {
+				deps = append(deps, x.id("wfull", l, 0))
+			}
+		}
+		add("pre", l, j, sim.GPU, d.PreAttn, "pre-attn", deps...)
+		add("qkv", l, j, sim.DtoH, d.QKVOff, "qkv-offload", x.id("pre", l, j))
+		add("cattn", l, j, sim.CPU, d.CPUAttn, "cpu-attn", x.id("qkv", l, j))
+		if paged {
+			// Stage the page for layer l+1 that ships at this slot; the
+			// disk-resident share must land in CPU memory first.
+			var pinDeps []int
+			if d.DiskPage > 0 {
+				add("disk", l+1, j, sim.Disk, d.DiskPage, "disk-read")
+				pinDeps = append(pinDeps, x.id("disk", l+1, j))
+			}
+			add("pin", l+1, j, sim.Pin, d.PinPage, "pin", pinDeps...)
+		}
+	}
+
+	// Prologue: slots 1..ahead (Alg. 1 lines 2-7).
+	for g := 1; g <= ahead && g <= total; g++ {
+		preSlot(g)
+	}
+
+	// Main loop (Alg. 1 lines 8-17).
+	for g := 1; g <= total; g++ {
+		l, j := p.slot(g)
+
+		// LoadH (D2): attention output for this slot returns to GPU.
+		add("loadh", l, j, sim.HtoD, d.HiddenLoad, "hidden-load", x.id("cattn", l, j))
+
+		// Weight transfer for layer l+1 (D3).
+		if paged {
+			add("page", l+1, j, sim.HtoD, d.WeightPage, "weights", x.id("pin", l+1, j))
+		} else if j == p.MicroBatches {
+			// Monolithic transfer issued at the layer boundary; baseline
+			// systems keep weights pinned, so no staging dependency
+			// (beyond the disk read when a disk tier is in play).
+			var wDeps []int
+			if d.DiskWhole > 0 {
+				add("disk", l+1, 0, sim.Disk, d.DiskWhole, "disk-read")
+				wDeps = append(wDeps, x.id("disk", l+1, 0))
+			}
+			add("wfull", l+1, 0, sim.HtoD, d.WeightWhole, "weights", wDeps...)
+		}
+
+		// Post-attention (O projection + MoE FFN) needs the hidden
+		// states and the full layer weights.
+		deps := []int{x.id("loadh", l, j)}
+		if l > 1 {
+			if paged {
+				deps = append(deps, x.id("page", l, p.MicroBatches))
+			} else {
+				deps = append(deps, x.id("wfull", l, 0))
+			}
+		}
+		add("post", l, j, sim.GPU, d.PostAttn, "post-attn", deps...)
+
+		// Launch the pre-attention chain `ahead` slots in advance
+		// (Alg. 1 lines 14-17).
+		if g2 := g + ahead; g2 <= total {
+			preSlot(g2)
+		}
+	}
+	return tasks
+}
+
+// buildGPUAttn emits FlexGen's S4 schedule: attention on GPU with the
+// micro-batch's KV cache prefetched over HtoD, monolithic weight
+// transfers queued behind the KV loads.
+func buildGPUAttn(p Plan) []sim.Task {
+	x := newIDs()
+	var tasks []sim.Task
+	add := func(role string, l, j int, lane sim.Lane, dur float64, kind string, deps ...int) {
+		tasks = append(tasks, sim.Task{
+			ID:       x.id(role, l, j),
+			Name:     taskName(role, l, j),
+			Kind:     kind,
+			Lane:     lane,
+			Duration: dur,
+			Deps:     deps,
+		})
+	}
+	d := p.D
+	for l := 1; l <= p.Layers; l++ {
+		for j := 1; j <= p.MicroBatches; j++ {
+			// KV prefetch for this micro-batch (D4).
+			add("kvload", l, j, sim.HtoD, d.KVLoad, "kv-load")
+			// Fused block: pre-attention, GPU attention, post-attention.
+			deps := []int{x.id("kvload", l, j)}
+			if l > 1 {
+				deps = append(deps, x.id("wfull", l, 0))
+			}
+			if j > 1 {
+				deps = append(deps, x.id("block", l, j-1))
+			} else if l > 1 {
+				deps = append(deps, x.id("block", l-1, p.MicroBatches))
+			}
+			add("block", l, j, sim.GPU, d.PreAttn+d.GPUAttn+d.PostAttn, "gpu-block", deps...)
+			// New token K/V writes back to the CPU cache.
+			add("kvstore", l, j, sim.DtoH, d.KVStore, "kv-store", x.id("block", l, j))
+		}
+		// Next layer's weights queue behind this layer's KV loads.
+		var wDeps []int
+		if d.DiskWhole > 0 {
+			add("disk", l+1, 0, sim.Disk, d.DiskWhole, "disk-read")
+			wDeps = append(wDeps, x.id("disk", l+1, 0))
+		}
+		add("wfull", l+1, 0, sim.HtoD, d.WeightWhole, "weights", wDeps...)
+	}
+	return tasks
+}
+
+// buildSerial emits the DeepSpeed-style schedule: the whole batch as a
+// single kernel sequence per layer, KV cache resident in GPU memory,
+// next layer's weights prefetched during compute.
+func buildSerial(p Plan) []sim.Task {
+	x := newIDs()
+	var tasks []sim.Task
+	d := p.D
+	for l := 1; l <= p.Layers; l++ {
+		var wDeps []int
+		if d.DiskWhole > 0 {
+			tasks = append(tasks, sim.Task{
+				ID: x.id("disk", l+1, 0), Name: taskName("disk", l+1, 0),
+				Kind: "disk-read", Lane: sim.Disk, Duration: d.DiskWhole,
+			})
+			wDeps = append(wDeps, x.id("disk", l+1, 0))
+		}
+		tasks = append(tasks, sim.Task{
+			ID: x.id("wfull", l+1, 0), Name: taskName("wfull", l+1, 0),
+			Kind: "weights", Lane: sim.HtoD, Duration: d.WeightWhole,
+			Deps: wDeps,
+		})
+		for j := 1; j <= p.MicroBatches; j++ {
+			deps := []int{}
+			if l > 1 {
+				deps = append(deps, x.id("wfull", l, 0))
+			}
+			if j > 1 {
+				deps = append(deps, x.id("block", l, j-1))
+			}
+			tasks = append(tasks, sim.Task{
+				ID: x.id("block", l, j), Name: taskName("block", l, j),
+				Kind: "gpu-block", Lane: sim.GPU,
+				Duration: d.PreAttn + d.GPUAttn + d.PostAttn,
+				Deps:     deps,
+			})
+		}
+	}
+	return tasks
+}
+
+func taskName(role string, l, j int) string {
+	switch role {
+	case "wfull":
+		return roleLabel(role) + "(" + itoa(l) + ")"
+	default:
+		return roleLabel(role) + "(" + itoa(l) + "," + itoa(j) + ")"
+	}
+}
+
+func roleLabel(role string) string {
+	switch role {
+	case "pre":
+		return "PreAttn"
+	case "qkv":
+		return "QKVOff"
+	case "cattn":
+		return "CPUAttn"
+	case "loadh":
+		return "LoadH"
+	case "page":
+		return "WPage"
+	case "pin":
+		return "WPin"
+	case "wfull":
+		return "W"
+	case "post":
+		return "PostAttn"
+	case "kvload":
+		return "KVLoad"
+	case "kvstore":
+		return "KVStore"
+	case "block":
+		return "Block"
+	case "disk":
+		return "DiskRead"
+	}
+	return role
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,56 @@
+package schedule
+
+import (
+	"moelightning/internal/perfmodel"
+)
+
+// PlanFor derives the simulation plan (layer/micro-batch counts and all
+// task durations) for a policy at a given context length, using the
+// performance model as the single source of kernel and transfer costs.
+func PlanFor(e *perfmodel.Estimator, p perfmodel.Policy, context int) Plan {
+	nb := p.MicroBatches()
+	streamBytes := e.WeightStreamBytes(p)
+	// The policy's KV budget (§C sparsity extension) shrinks what the
+	// attention kernel and KV transfers touch.
+	attnCtx := int(float64(context) * p.EffectiveKVBudget())
+	if attnCtx < 1 {
+		attnCtx = 1
+	}
+	d := Durations{
+		PreAttn:  e.PreAttnLatency(p.Mu),
+		PostAttn: e.PostAttnLatency(p.Mu),
+		CPUAttn:  e.CPUAttnLatency(p.Mu, attnCtx),
+		GPUAttn:  e.GPUAttnLatency(p.Mu, attnCtx),
+
+		QKVOff:     e.QKVOffloadLatency(p.Mu),
+		HiddenLoad: e.HiddenLoadLatency(p.Mu),
+		KVLoad:     e.KVTransferLatency(p.Mu, attnCtx) * (1 - p.KVGPURatio),
+		KVStore:    e.KVStoreLatency(p.Mu) * (1 - p.KVGPURatio),
+
+		WeightWhole: e.WeightStreamLatency(p),
+		WeightPage:  e.WeightStreamLatency(p) / float64(nb),
+		PinWhole:    e.PinLatency(streamBytes),
+		PinPage:     e.PinLatency(streamBytes / float64(nb)),
+	}
+	if p.WeightsDiskRatio > 0 && e.In.Spec.Disk.Present() {
+		diskBytes := p.WeightsDiskRatio * float64(e.In.Model.LayerWeightBytes())
+		d.DiskWhole = diskBytes / e.In.Spec.Disk.SustainedRead()
+		d.DiskPage = d.DiskWhole / float64(nb)
+	}
+	return Plan{
+		Layers:       e.In.Model.Layers,
+		MicroBatches: nb,
+		D:            d,
+	}
+}
+
+// StrategyFor maps a policy to the schedule MoE-Lightning would run:
+// CGOPipe when attention is on CPU, S4 otherwise (§4.2: "CGOPipe is
+// primarily designed for A_g = 0 and when A_g = 1, MoE-Lightning adopts
+// S4").
+func StrategyFor(p perfmodel.Policy) Strategy {
+	if p.GPUAttn {
+		return GPUAttn
+	}
+	return CGOPipe
+}

@@ -1,0 +1,136 @@
+// Package schedule builds the task DAGs for one decode step under the
+// five scheduling strategies of Fig. 6:
+//
+//   - CGOPipe (§4.1, Alg. 1): CPU attention launched two micro-batches
+//     ahead, weights paged and interleaved with intermediate-result
+//     transfers on the HtoD lane, CPU->pinned staging overlapped.
+//   - S2 "pipeline w/o paged weights" (FastDecode-like): same lookahead,
+//     but each layer's weights move as one monolithic transfer that
+//     blocks the HtoD lane.
+//   - S3 "w/o pipeline w/o paged weights" (FlexGen with CPU attention):
+//     single-micro-batch lookahead, monolithic weights.
+//   - S4 "w/o CPU attention" (FlexGen): attention on GPU, per-micro-
+//     batch KV-cache transfers sharing the HtoD lane with monolithic
+//     weights.
+//   - Serial (DeepSpeed ZeRO-Inference-like): one micro-batch, KV
+//     resident on GPU, weights streamed with double-buffer prefetch.
+//
+// Builders emit tasks in issue order; the sim package's FIFO lanes then
+// reproduce each strategy's bubbles.
+package schedule
+
+import (
+	"fmt"
+
+	"moelightning/internal/sim"
+)
+
+// Strategy selects a pipeline schedule.
+type Strategy string
+
+// The five strategies of Fig. 6.
+const (
+	CGOPipe   Strategy = "cgopipe"
+	Overlap   Strategy = "s2-overlap"   // pipeline w/o paged weights
+	SerialCPU Strategy = "s3-serialcpu" // w/o pipeline w/o paged weights
+	GPUAttn   Strategy = "s4-gpuattn"   // w/o CPU attention (FlexGen)
+	Serial    Strategy = "serial"       // DeepSpeed-style
+)
+
+// Strategies lists all builders for iteration in tests and benches.
+func Strategies() []Strategy {
+	return []Strategy{CGOPipe, Overlap, SerialCPU, GPUAttn, Serial}
+}
+
+// Durations carries per-task durations in seconds, produced by the
+// performance model for a concrete (model, hardware, workload, policy).
+type Durations struct {
+	PreAttn  float64 // GPU: layer-norm + QKV projection, one micro-batch
+	PostAttn float64 // GPU: O projection + MoE FFN (+ TP all-reduces), one micro-batch
+	GPUAttn  float64 // GPU: attention core, one micro-batch (S4/Serial)
+	CPUAttn  float64 // CPU: attention core, one micro-batch
+
+	QKVOff     float64 // DtoH: Q,K,V offload after projection (D1)
+	HiddenLoad float64 // HtoD: attention output back to GPU (D2)
+	KVLoad     float64 // HtoD: one micro-batch's KV cache for one layer (D4)
+	KVStore    float64 // DtoH: new token K/V write-back
+
+	WeightPage  float64 // HtoD: one weight page (D3, paged)
+	WeightWhole float64 // HtoD: one layer's streamed weights, monolithic
+	PinPage     float64 // Pin: CPU -> pinned staging, one page
+	PinWhole    float64 // Pin: CPU -> pinned staging, one layer
+
+	// DiskPage / DiskWhole are the disk -> CPU read times for the
+	// disk-resident weight share (zero without a disk tier, §C).
+	DiskPage  float64
+	DiskWhole float64
+}
+
+// Plan describes the decode step to schedule.
+type Plan struct {
+	Layers       int
+	MicroBatches int
+	D            Durations
+}
+
+// Validate reports an error for unusable plans.
+func (p Plan) Validate() error {
+	if p.Layers <= 0 || p.MicroBatches <= 0 {
+		return fmt.Errorf("schedule: non-positive plan %d layers x %d micro-batches", p.Layers, p.MicroBatches)
+	}
+	return nil
+}
+
+// Build emits the task DAG for one steady-state decode step: layer 1's
+// weights are already resident (prefetched during the previous step) and
+// the step prefetches the next step's first layer, so per-step work is
+// exactly one full pass.
+func Build(s Strategy, p Plan) ([]sim.Task, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	switch s {
+	case CGOPipe:
+		return buildLookahead(p, 2, true), nil
+	case Overlap:
+		return buildLookahead(p, 2, false), nil
+	case SerialCPU:
+		return buildLookahead(p, 1, false), nil
+	case GPUAttn:
+		return buildGPUAttn(p), nil
+	case Serial:
+		return buildSerial(p), nil
+	}
+	return nil, fmt.Errorf("schedule: unknown strategy %q", s)
+}
+
+// ids hands out task IDs and remembers them by role/layer/micro-batch.
+type ids struct {
+	next int
+	m    map[string]int
+}
+
+func newIDs() *ids { return &ids{m: make(map[string]int)} }
+
+func (x *ids) id(role string, l, j int) int {
+	k := fmt.Sprintf("%s/%d/%d", role, l, j)
+	if id, ok := x.m[k]; ok {
+		return id
+	}
+	x.next++
+	x.m[k] = x.next
+	return x.next
+}
+
+func (x *ids) lookup(role string, l, j int) (int, bool) {
+	id, ok := x.m[fmt.Sprintf("%s/%d/%d", role, l, j)]
+	return id, ok
+}
+
+// global index helpers: micro-batch slots are numbered 1..Layers*MB in
+// execution order; slot g corresponds to (layer, mb).
+func (p Plan) slot(g int) (layer, mb int) {
+	return (g-1)/p.MicroBatches + 1, (g-1)%p.MicroBatches + 1
+}
+
+func (p Plan) slots() int { return p.Layers * p.MicroBatches }

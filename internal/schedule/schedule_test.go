@@ -1,0 +1,260 @@
+package schedule
+
+import (
+	"testing"
+
+	"moelightning/internal/hardware"
+	"moelightning/internal/model"
+	"moelightning/internal/perfmodel"
+	"moelightning/internal/sim"
+	"moelightning/internal/workload"
+)
+
+// testDurations are round numbers so makespans are easy to reason about.
+func testDurations() Durations {
+	return Durations{
+		PreAttn: 1, PostAttn: 3, GPUAttn: 2, CPUAttn: 4,
+		QKVOff: 0.5, HiddenLoad: 0.5, KVLoad: 5, KVStore: 0.2,
+		WeightPage: 2, WeightWhole: 8, PinPage: 1, PinWhole: 4,
+	}
+}
+
+func TestBuildAllStrategiesRunAndValidate(t *testing.T) {
+	for _, s := range Strategies() {
+		for _, plan := range []Plan{
+			{Layers: 1, MicroBatches: 1, D: testDurations()},
+			{Layers: 2, MicroBatches: 1, D: testDurations()},
+			{Layers: 1, MicroBatches: 4, D: testDurations()},
+			{Layers: 3, MicroBatches: 4, D: testDurations()},
+			{Layers: 4, MicroBatches: 7, D: testDurations()},
+		} {
+			tasks, err := Build(s, plan)
+			if err != nil {
+				t.Fatalf("%s %dx%d: build: %v", s, plan.Layers, plan.MicroBatches, err)
+			}
+			res, err := sim.Run(tasks)
+			if err != nil {
+				t.Fatalf("%s %dx%d: run: %v", s, plan.Layers, plan.MicroBatches, err)
+			}
+			if err := res.Validate(tasks); err != nil {
+				t.Fatalf("%s %dx%d: invariants: %v", s, plan.Layers, plan.MicroBatches, err)
+			}
+			if res.Makespan <= 0 {
+				t.Fatalf("%s %dx%d: zero makespan", s, plan.Layers, plan.MicroBatches)
+			}
+		}
+	}
+}
+
+func TestBuildRejectsBadPlans(t *testing.T) {
+	if _, err := Build(CGOPipe, Plan{Layers: 0, MicroBatches: 1}); err == nil {
+		t.Error("zero layers")
+	}
+	if _, err := Build(Strategy("nope"), Plan{Layers: 1, MicroBatches: 1, D: testDurations()}); err == nil {
+		t.Error("unknown strategy")
+	}
+}
+
+// TestCGOPipeBeatsUnpagedSchedules is Fig. 6's central claim: with CPU
+// attention and realistic proportions, CGOPipe's paged weights beat the
+// monolithic-transfer variants, and the lookahead-2 pipeline beats the
+// serialized one.
+func TestCGOPipeBeatsUnpagedSchedules(t *testing.T) {
+	plan := Plan{Layers: 8, MicroBatches: 4, D: testDurations()}
+	span := make(map[Strategy]float64)
+	for _, s := range Strategies() {
+		tasks, err := Build(s, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		span[s] = res.Makespan
+	}
+	if span[CGOPipe] >= span[Overlap] {
+		t.Errorf("CGOPipe (%v) not faster than unpaged pipeline S2 (%v)", span[CGOPipe], span[Overlap])
+	}
+	if span[Overlap] > span[SerialCPU] {
+		t.Errorf("S2 (%v) slower than S3 (%v)", span[Overlap], span[SerialCPU])
+	}
+	if span[CGOPipe] >= span[GPUAttn] {
+		t.Errorf("CGOPipe (%v) not faster than FlexGen S4 (%v)", span[CGOPipe], span[GPUAttn])
+	}
+}
+
+// TestS3VsS4Crossover reproduces §4.1's observation: S3 can be worse
+// than S4 when the KV transfer is cheaper than pre+post+CPU-attention,
+// and better when KV transfers dominate.
+func TestS3VsS4Crossover(t *testing.T) {
+	cheapKV := testDurations()
+	cheapKV.KVLoad = 1 // KV transfer < pre+post+cpuattn = 8
+	expensiveKV := testDurations()
+	expensiveKV.KVLoad = 30
+
+	run := func(s Strategy, d Durations) float64 {
+		tasks, err := Build(s, Plan{Layers: 6, MicroBatches: 4, D: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	if run(SerialCPU, cheapKV) <= run(GPUAttn, cheapKV) {
+		t.Error("with cheap KV transfers S4 should beat S3")
+	}
+	if run(SerialCPU, expensiveKV) >= run(GPUAttn, expensiveKV) {
+		t.Error("with expensive KV transfers S3 should beat S4")
+	}
+}
+
+// TestCGOPipeHtoDUtilization: with weight transfer as the bottleneck,
+// CGOPipe should keep the HtoD lane nearly saturated (the paper's
+// "reduces pipeline bubbles" claim).
+func TestCGOPipeHtoDUtilization(t *testing.T) {
+	d := testDurations()
+	d.WeightPage = 4 // weights dominate
+	tasks, err := Build(CGOPipe, Plan{Layers: 8, MicroBatches: 4, D: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := res.Utilization(sim.HtoD); u < 0.9 {
+		t.Errorf("CGOPipe HtoD utilization = %.2f, want >= 0.9", u)
+	}
+}
+
+// TestSerialOverlapsWeightsWithCompute: the DeepSpeed-style schedule
+// overlaps next-layer weights with compute via double buffering, so its
+// makespan is ~max(weights, compute) per layer, not the sum.
+func TestSerialOverlapsWeightsWithCompute(t *testing.T) {
+	d := Durations{PreAttn: 1, GPUAttn: 1, PostAttn: 6, WeightWhole: 8}
+	tasks, err := Build(Serial, Plan{Layers: 10, MicroBatches: 1, D: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLayer := res.Makespan / 10
+	if perLayer > 8.5 || perLayer < 8.0 {
+		t.Errorf("serial per-layer = %v, want ~8 (overlapped)", perLayer)
+	}
+}
+
+func TestPlanForProducesConsistentDurations(t *testing.T) {
+	// Fig. 9's hardware: the L4 instance (S2) with the 24-core Xeon.
+	in := perfmodel.Input{
+		Model:    model.Mixtral8x7B(),
+		Spec:     hardware.S2(),
+		Workload: workload.MTBench(128),
+		Padded:   true,
+	}
+	e, err := perfmodel.New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := perfmodel.Policy{N: 512, Mu: 64, GPUFFN: true}
+	plan := PlanFor(e, p, 512)
+	if plan.Layers != 32 || plan.MicroBatches != 8 {
+		t.Fatalf("plan geometry: %+v", plan)
+	}
+	d := plan.D
+	if d.WeightPage*float64(plan.MicroBatches) != d.WeightWhole {
+		t.Errorf("pages (%v x %d) must sum to the whole transfer (%v)",
+			d.WeightPage, plan.MicroBatches, d.WeightWhole)
+	}
+	if d.CPUAttn <= 0 || d.PostAttn <= 0 || d.PreAttn <= 0 {
+		t.Error("non-positive durations")
+	}
+	// Fig. 9 relationship at this scale: KV transfer ~3-4x CPU attention
+	// (CPU memory bandwidth vs link bandwidth).
+	ratio := e.KVTransferLatency(p.Mu, 512) / e.CPUAttnLatency(p.Mu, 512)
+	if ratio < 2.5 || ratio > 6 {
+		t.Errorf("KV transfer / CPU attention = %.2f, want ~3-4x", ratio)
+	}
+}
+
+func TestStrategyFor(t *testing.T) {
+	if StrategyFor(perfmodel.Policy{GPUAttn: true}) != GPUAttn {
+		t.Error("GPU attention policy must use S4")
+	}
+	if StrategyFor(perfmodel.Policy{GPUAttn: false}) != CGOPipe {
+		t.Error("CPU attention policy must use CGOPipe")
+	}
+}
+
+// TestSteadyStateWork: every strategy must schedule exactly one weight
+// transfer per layer per step (layers 2..L+1), no more, no less.
+func TestSteadyStateWork(t *testing.T) {
+	plan := Plan{Layers: 5, MicroBatches: 3, D: testDurations()}
+	for _, s := range Strategies() {
+		tasks, err := Build(s, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var weightTime float64
+		for _, task := range tasks {
+			if task.Kind == "weights" {
+				weightTime += task.Duration
+			}
+		}
+		var want float64
+		switch s {
+		case CGOPipe:
+			want = float64(plan.Layers) * float64(plan.MicroBatches) * plan.D.WeightPage
+		default:
+			want = float64(plan.Layers) * plan.D.WeightWhole
+		}
+		if weightTime != want {
+			t.Errorf("%s: weight transfer time %v, want %v", s, weightTime, want)
+		}
+	}
+}
+
+// TestDiskTasksGateWeights: with a disk share, every weight transfer
+// must wait for its disk read, and the Disk lane must appear in the
+// simulation.
+func TestDiskTasksGateWeights(t *testing.T) {
+	d := testDurations()
+	// Slow enough that the disk lane, not the link or GPU, binds.
+	d.DiskWhole = 60
+	d.DiskPage = 15
+	for _, s := range Strategies() {
+		tasks, err := Build(s, Plan{Layers: 3, MicroBatches: 4, D: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(tasks)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if err := res.Validate(tasks); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if res.BusyTime(sim.Disk) <= 0 {
+			t.Errorf("%s: no disk lane activity", s)
+		}
+		// The disk is slower than everything else here, so it must
+		// lengthen the step vs the diskless plan.
+		diskless, err := Build(s, Plan{Layers: 3, MicroBatches: 4, D: testDurations()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := sim.Run(diskless)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan <= base.Makespan {
+			t.Errorf("%s: disk-gated step (%v) not slower than diskless (%v)", s, res.Makespan, base.Makespan)
+		}
+	}
+}

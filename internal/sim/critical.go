@@ -1,0 +1,84 @@
+package sim
+
+// CriticalPath returns a chain of spans that determines the makespan:
+// starting from the task that finishes last, repeatedly step to the
+// blocker — the dependency or same-lane predecessor whose end time
+// equals (or is closest below) the task's start. The returned slice is
+// in execution order. Use it to answer "why is this schedule this
+// slow?" — the lane composition of the path names the bottleneck.
+func (r Result) CriticalPath() []Span {
+	if len(r.Spans) == 0 {
+		return nil
+	}
+	// Index spans by task ID and find per-lane order.
+	byID := make(map[int]Span, len(r.Spans))
+	for _, s := range r.Spans {
+		byID[s.Task.ID] = s
+	}
+	prevOnLane := make(map[int]Span) // task ID -> preceding span on its lane
+	for _, spans := range r.ByLane {
+		for i := 1; i < len(spans); i++ {
+			prevOnLane[spans[i].Task.ID] = spans[i-1]
+		}
+	}
+
+	// Start from the last-finishing task.
+	last := r.Spans[0]
+	for _, s := range r.Spans[1:] {
+		if s.End > last.End {
+			last = s
+		}
+	}
+
+	var path []Span
+	cur := last
+	for {
+		path = append(path, cur)
+		if cur.Start == 0 {
+			break
+		}
+		// The blocker: among dependencies and the lane predecessor, the
+		// one finishing latest (it released this task).
+		var blocker *Span
+		consider := func(s Span) {
+			if s.End > cur.Start+1e-12 {
+				return // not actually a blocker (should not happen)
+			}
+			if blocker == nil || s.End > blocker.End {
+				c := s
+				blocker = &c
+			}
+		}
+		for _, d := range cur.Task.Deps {
+			if s, ok := byID[d]; ok {
+				consider(s)
+			}
+		}
+		if s, ok := prevOnLane[cur.Task.ID]; ok {
+			consider(s)
+		}
+		if blocker == nil {
+			break // idle gap before cur: path starts here
+		}
+		cur = *blocker
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// CriticalLaneShare sums the critical path's busy time per lane,
+// normalized by the makespan. The dominant lane is the schedule's
+// bottleneck resource.
+func (r Result) CriticalLaneShare() map[Lane]float64 {
+	out := make(map[Lane]float64)
+	if r.Makespan == 0 {
+		return out
+	}
+	for _, s := range r.CriticalPath() {
+		out[s.Task.Lane] += (s.End - s.Start) / r.Makespan
+	}
+	return out
+}

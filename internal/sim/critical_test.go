@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCriticalPathSimpleChain(t *testing.T) {
+	tasks := []Task{
+		{ID: 1, Name: "a", Lane: HtoD, Duration: 2},
+		{ID: 2, Name: "b", Lane: GPU, Duration: 3, Deps: []int{1}},
+		{ID: 3, Name: "c", Lane: DtoH, Duration: 1, Deps: []int{2}},
+		{ID: 4, Name: "noise", Lane: CPU, Duration: 0.5},
+	}
+	res, err := Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := res.CriticalPath()
+	if len(path) != 3 {
+		t.Fatalf("path length %d, want 3: %v", len(path), names(path))
+	}
+	want := []string{"a", "b", "c"}
+	for i, s := range path {
+		if s.Task.Name != want[i] {
+			t.Fatalf("path = %v, want %v", names(path), want)
+		}
+	}
+}
+
+func TestCriticalPathThroughLaneFIFO(t *testing.T) {
+	// Same-lane queuing (not a declared dep) must appear on the path.
+	tasks := []Task{
+		{ID: 1, Name: "first", Lane: GPU, Duration: 5},
+		{ID: 2, Name: "second", Lane: GPU, Duration: 5},
+	}
+	res, err := Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := res.CriticalPath()
+	if len(path) != 2 || path[0].Task.Name != "first" {
+		t.Fatalf("path = %v", names(path))
+	}
+}
+
+func TestCriticalPathCoversMakespan(t *testing.T) {
+	// When work is continuous from t=0, the path's spans tile the
+	// makespan; in general they cover at least the busy fraction of the
+	// last-finishing chain.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		tasks := randomDAG(rng, 1+rng.Intn(40))
+		res, err := Run(tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := res.CriticalPath()
+		if len(path) == 0 {
+			t.Fatal("empty path")
+		}
+		// Path ends at the makespan and is ordered, non-overlapping.
+		if path[len(path)-1].End != res.Makespan {
+			t.Fatalf("trial %d: path ends at %v, makespan %v", trial, path[len(path)-1].End, res.Makespan)
+		}
+		for i := 1; i < len(path); i++ {
+			if path[i].Start < path[i-1].End-1e-12 {
+				t.Fatalf("trial %d: path overlaps at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestCriticalLaneShare(t *testing.T) {
+	tasks := []Task{
+		{ID: 1, Name: "xfer", Lane: HtoD, Duration: 8},
+		{ID: 2, Name: "compute", Lane: GPU, Duration: 2, Deps: []int{1}},
+	}
+	res, err := Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := res.CriticalLaneShare()
+	if share[HtoD] != 0.8 || share[GPU] != 0.2 {
+		t.Fatalf("shares = %v", share)
+	}
+}
+
+func names(spans []Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Task.Name
+	}
+	return out
+}

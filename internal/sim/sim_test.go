@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyRun(t *testing.T) {
+	res, err := Run(nil)
+	if err != nil || res.Makespan != 0 {
+		t.Fatalf("empty run: %v, makespan %v", err, res.Makespan)
+	}
+}
+
+func TestSequentialSameLane(t *testing.T) {
+	res, err := Run([]Task{
+		{ID: 1, Name: "a", Lane: GPU, Duration: 1},
+		{ID: 2, Name: "b", Lane: GPU, Duration: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 3 {
+		t.Fatalf("makespan = %v, want 3 (FIFO on one lane)", res.Makespan)
+	}
+}
+
+func TestParallelAcrossLanes(t *testing.T) {
+	res, err := Run([]Task{
+		{ID: 1, Name: "a", Lane: GPU, Duration: 2},
+		{ID: 2, Name: "b", Lane: CPU, Duration: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 3 {
+		t.Fatalf("makespan = %v, want 3 (independent lanes overlap)", res.Makespan)
+	}
+}
+
+func TestDependencyAcrossLanes(t *testing.T) {
+	res, err := Run([]Task{
+		{ID: 1, Name: "xfer", Lane: HtoD, Duration: 2},
+		{ID: 2, Name: "compute", Lane: GPU, Duration: 1, Deps: []int{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 3 {
+		t.Fatalf("makespan = %v, want 3", res.Makespan)
+	}
+	if res.Spans[1].Start != 2 {
+		t.Fatalf("dependent start = %v, want 2", res.Spans[1].Start)
+	}
+}
+
+func TestHeadOfLineBlocking(t *testing.T) {
+	// The modeling essence: a blocked head task stalls its whole lane
+	// even when a later task on the lane is ready.
+	res, err := Run([]Task{
+		{ID: 1, Name: "slow", Lane: CPU, Duration: 10},
+		{ID: 2, Name: "blocked-head", Lane: HtoD, Duration: 1, Deps: []int{1}},
+		{ID: 3, Name: "ready-but-queued", Lane: HtoD, Duration: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spans[2].Start != 11 {
+		t.Fatalf("queued task started at %v, want 11 (behind blocked head)", res.Spans[2].Start)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// Two tasks on one lane whose dependency contradicts issue order.
+	_, err := Run([]Task{
+		{ID: 1, Name: "first", Lane: GPU, Duration: 1, Deps: []int{2}},
+		{ID: 2, Name: "second", Lane: GPU, Duration: 1},
+	})
+	if err == nil {
+		t.Fatal("want deadlock error")
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	if _, err := Run([]Task{{ID: 1, Lane: GPU, Duration: -1}}); err == nil {
+		t.Error("negative duration")
+	}
+	if _, err := Run([]Task{{ID: 1, Lane: Lane(99), Duration: 1}}); err == nil {
+		t.Error("bad lane")
+	}
+	if _, err := Run([]Task{{ID: 1, Lane: GPU}, {ID: 1, Lane: CPU}}); err == nil {
+		t.Error("duplicate ID")
+	}
+	if _, err := Run([]Task{{ID: 1, Lane: GPU, Deps: []int{42}}}); err == nil {
+		t.Error("unknown dependency")
+	}
+}
+
+func TestUtilizationAndBubbles(t *testing.T) {
+	res, err := Run([]Task{
+		{ID: 1, Name: "a", Lane: GPU, Duration: 1},
+		{ID: 2, Name: "wait", Lane: CPU, Duration: 3, Deps: []int{1}},
+		{ID: 3, Name: "b", Lane: GPU, Duration: 1, Deps: []int{2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 5 {
+		t.Fatalf("makespan = %v, want 5", res.Makespan)
+	}
+	if got := res.BusyTime(GPU); got != 2 {
+		t.Fatalf("GPU busy = %v, want 2", got)
+	}
+	if got := res.Utilization(GPU); got != 0.4 {
+		t.Fatalf("GPU utilization = %v, want 0.4", got)
+	}
+	if got := res.BubbleTime(GPU); got != 3 {
+		t.Fatalf("GPU bubbles = %v, want 3", got)
+	}
+}
+
+func TestKindTime(t *testing.T) {
+	res, err := Run([]Task{
+		{ID: 1, Kind: "weights", Lane: HtoD, Duration: 2},
+		{ID: 2, Kind: "weights", Lane: HtoD, Duration: 3},
+		{ID: 3, Kind: "compute", Lane: GPU, Duration: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt := res.KindTime()
+	if kt["weights"] != 5 || kt["compute"] != 1 {
+		t.Fatalf("kind times = %v", kt)
+	}
+}
+
+// randomDAG builds a random feasible task set: dependencies only point
+// to earlier-issued tasks, which is always schedulable.
+func randomDAG(rng *rand.Rand, n int) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{
+			ID:       i + 1,
+			Lane:     Lane(rng.Intn(6)),
+			Duration: rng.Float64(),
+		}
+		for d := 1; d <= i; d++ {
+			if rng.Float64() < 0.1 {
+				tasks[i].Deps = append(tasks[i].Deps, d)
+			}
+		}
+	}
+	return tasks
+}
+
+func TestRandomDAGsValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		tasks := randomDAG(rng, 1+rng.Intn(60))
+		res, err := Run(tasks)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := res.Validate(tasks); err != nil {
+			t.Fatalf("trial %d: invariants: %v", trial, err)
+		}
+	}
+}
+
+func TestMakespanLowerBoundProperty(t *testing.T) {
+	// Makespan >= busiest lane's total work and >= any single task.
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tasks := randomDAG(r, 1+rng.Intn(40))
+		res, err := Run(tasks)
+		if err != nil {
+			return false
+		}
+		for _, l := range Lanes() {
+			if res.BusyTime(l) > res.Makespan+1e-12 {
+				return false
+			}
+		}
+		for _, s := range res.Spans {
+			if s.Task.Duration > res.Makespan+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLaneString(t *testing.T) {
+	if GPU.String() != "GPU" || Pin.String() != "Pin" {
+		t.Error("lane names")
+	}
+	if Lane(42).String() != "Lane(42)" {
+		t.Error("unknown lane name")
+	}
+}

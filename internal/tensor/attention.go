@@ -1,0 +1,51 @@
+package tensor
+
+import "math"
+
+// GQA attention kernels. Layout conventions:
+//   - q is one token's query vector, nq heads x headDim;
+//   - keys/values are the cached context, one row per token, each row
+//     nkv heads x headDim;
+//   - GQA shares each KV head across nq/nkv query heads.
+
+// AttendOne computes single-token GQA attention: out = softmax(q K^T /
+// sqrt(d)) V over ctx cached tokens. keys and values are [ctx,
+// nkv*headDim]; out must be nq*headDim long. scores is scratch of
+// length >= ctx (allocated when nil).
+func AttendOne(out, q []float32, keys, values Mat, nq, nkv, headDim int, scores []float32) {
+	ctx := keys.Rows
+	if scores == nil || len(scores) < ctx {
+		scores = make([]float32, ctx)
+	}
+	group := nq / nkv
+	scale := float32(1 / math.Sqrt(float64(headDim)))
+	for h := 0; h < nq; h++ {
+		kvh := h / group
+		qh := q[h*headDim : (h+1)*headDim]
+		for t := 0; t < ctx; t++ {
+			kRow := keys.Row(t)[kvh*headDim : (kvh+1)*headDim]
+			scores[t] = Dot(qh, kRow) * scale
+		}
+		Softmax(scores[:ctx])
+		oh := out[h*headDim : (h+1)*headDim]
+		for i := range oh {
+			oh[i] = 0
+		}
+		for t := 0; t < ctx; t++ {
+			vRow := values.Row(t)[kvh*headDim : (kvh+1)*headDim]
+			Axpy(scores[t], vRow, oh)
+		}
+	}
+}
+
+// AttendCausal computes prefill attention for a whole prompt: queries
+// [n, nq*headDim] against keys/values [n, nkv*headDim] with a causal
+// mask; out is [n, nq*headDim].
+func AttendCausal(out, queries Mat, keys, values Mat, nq, nkv, headDim int) {
+	scores := make([]float32, keys.Rows)
+	for t := 0; t < queries.Rows; t++ {
+		sub := Mat{Rows: t + 1, Cols: keys.Cols, Data: keys.Data[:(t+1)*keys.Cols]}
+		subV := Mat{Rows: t + 1, Cols: values.Cols, Data: values.Data[:(t+1)*values.Cols]}
+		AttendOne(out.Row(t), queries.Row(t), sub, subV, nq, nkv, headDim, scores)
+	}
+}

@@ -1,0 +1,221 @@
+// Package tensor provides the dense float32 kernels the functional
+// engine runs: matrix multiplication, RMSNorm, softmax, SiLU, rotary
+// embeddings and top-k selection. Everything is plain Go on flat
+// row-major slices — correctness and determinism over speed; the
+// performance of full-size models is the job of the perfmodel/sim
+// packages.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat is a row-major matrix view over a flat slice.
+type Mat struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMat allocates a zeroed Rows x Cols matrix.
+func NewMat(rows, cols int) Mat {
+	return Mat{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps an existing slice; len(data) must be rows*cols.
+func FromSlice(rows, cols int, data []float32) Mat {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: slice of %d cannot view %dx%d", len(data), rows, cols))
+	}
+	return Mat{Rows: rows, Cols: cols, Data: data}
+}
+
+// Row returns the i-th row as a slice view.
+func (m Mat) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m Mat) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m Mat) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Clone deep-copies the matrix.
+func (m Mat) Clone() Mat {
+	out := NewMat(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MatMul computes dst = a @ b for a [m,k] and b [k,n]. dst must be
+// [m,n] and distinct from a and b.
+func MatMul(dst, a, b Mat) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch [%d,%d]@[%d,%d]->[%d,%d]",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		dr := dst.Row(i)
+		for j := range dr {
+			dr[j] = 0
+		}
+		for k, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b.Row(k)
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT computes dst = a @ bT.T for a [m,k] and bT [n,k] (b stored
+// transposed, the natural layout for projection weights).
+func MatMulT(dst, a, bT Mat) {
+	if a.Cols != bT.Cols || dst.Rows != a.Rows || dst.Cols != bT.Rows {
+		panic(fmt.Sprintf("tensor: matmulT shape mismatch [%d,%d]@[%d,%d]T->[%d,%d]",
+			a.Rows, a.Cols, bT.Rows, bT.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		dr := dst.Row(i)
+		for j := 0; j < bT.Rows; j++ {
+			br := bT.Row(j)
+			var sum float32
+			for k, av := range ar {
+				sum += av * br[k]
+			}
+			dr[j] = sum
+		}
+	}
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float32) float32 {
+	var sum float32
+	for i, v := range a {
+		sum += v * b[i]
+	}
+	return sum
+}
+
+// Axpy computes y += alpha * x.
+func Axpy(alpha float32, x, y []float32) {
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Add computes dst = a + b elementwise.
+func Add(dst, a, b []float32) {
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// RMSNorm normalizes x by its root-mean-square and scales by weight,
+// writing into dst (dst may alias x).
+func RMSNorm(dst, x, weight []float32, eps float32) {
+	var ss float64
+	for _, v := range x {
+		ss += float64(v) * float64(v)
+	}
+	inv := float32(1 / math.Sqrt(ss/float64(len(x))+float64(eps)))
+	for i, v := range x {
+		dst[i] = v * inv * weight[i]
+	}
+}
+
+// Softmax computes an in-place numerically stable softmax.
+func Softmax(x []float32) {
+	if len(x) == 0 {
+		return
+	}
+	max := x[0]
+	for _, v := range x[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range x {
+		e := math.Exp(float64(v - max))
+		x[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+// SiLU computes x * sigmoid(x) elementwise in place.
+func SiLU(x []float32) {
+	for i, v := range x {
+		x[i] = v / (1 + float32(math.Exp(float64(-v))))
+	}
+}
+
+// TopK returns the indices of the k largest values in descending value
+// order; ties break toward the lower index for determinism.
+func TopK(x []float32, k int) []int {
+	if k > len(x) {
+		k = len(x)
+	}
+	idx := make([]int, 0, k)
+	for n := 0; n < k; n++ {
+		best := -1
+		for i, v := range x {
+			if contains(idx, i) {
+				continue
+			}
+			if best < 0 || v > x[best] {
+				best = i
+			}
+		}
+		idx = append(idx, best)
+	}
+	return idx
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ArgMax returns the index of the largest value (lowest index on ties).
+func ArgMax(x []float32) int {
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// RoPE applies rotary position embeddings in place to a vector laid out
+// as consecutive heads of headDim, for absolute position pos.
+func RoPE(x []float32, headDim, pos int, theta float64) {
+	if headDim%2 != 0 {
+		panic("tensor: RoPE requires even head dimension")
+	}
+	for h := 0; h+headDim <= len(x); h += headDim {
+		for i := 0; i < headDim/2; i++ {
+			freq := 1 / math.Pow(theta, float64(2*i)/float64(headDim))
+			angle := float64(pos) * freq
+			sin, cos := math.Sincos(angle)
+			a, b := x[h+2*i], x[h+2*i+1]
+			x[h+2*i] = a*float32(cos) - b*float32(sin)
+			x[h+2*i+1] = a*float32(sin) + b*float32(cos)
+		}
+	}
+}

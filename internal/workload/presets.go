@@ -1,0 +1,49 @@
+package workload
+
+// Benchmark presets matching Tab. 3 of the paper.
+
+// MTBench: 80 multi-turn questions replicated to thousands of requests;
+// s_avg = 77, s_max = 418, generation length swept over {32,64,128,256}.
+func MTBench(genLen int) Config {
+	return Config{
+		Name:      "MTBench",
+		AvgPrompt: 77, MaxPrompt: 418, MinPrompt: 16,
+		GenLen:      genLen,
+		NumRequests: 4000,
+		Skew:        0.08, // a few long multi-turn prompts
+	}
+}
+
+// SyntheticReasoning: HELM synthetic reasoning; s_avg = 242, s_max = 256,
+// generation length 50. Near-uniform short prompts.
+func SyntheticReasoning() Config {
+	return Config{
+		Name:      "SyntheticReasoning",
+		AvgPrompt: 242, MaxPrompt: 256, MinPrompt: 224,
+		GenLen:      50,
+		NumRequests: 4000,
+		Skew:        0,
+	}
+}
+
+// Summarization: HELM summarization; s_avg = 1693, s_max = 1984,
+// generation length 64. Long prompts stress prefill and KV capacity.
+func Summarization() Config {
+	return Config{
+		Name:      "Summarization",
+		AvgPrompt: 1693, MaxPrompt: 1984, MinPrompt: 1200,
+		GenLen:      64,
+		NumRequests: 2000,
+		Skew:        0,
+	}
+}
+
+// Presets returns all named workloads at their default generation
+// lengths, for CLI lookup.
+func Presets() map[string]Config {
+	return map[string]Config{
+		"mtbench":   MTBench(128),
+		"reasoning": SyntheticReasoning(),
+		"summarize": Summarization(),
+	}
+}

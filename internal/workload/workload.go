@@ -1,0 +1,202 @@
+// Package workload describes inference workloads — the W in the paper's
+// T(M, H, W, P) model — and generates request sets whose prompt-length
+// distributions match the paper's benchmarks (Tab. 3).
+//
+// The paper replicates MTBench's 80 questions into thousands of requests
+// and evaluates with several generation lengths; HELM synthetic
+// reasoning and summarization provide short-uniform and long-prompt
+// regimes. We reproduce the three distributions from their published
+// (s_avg, s_max) statistics with seeded generators, so every run is
+// deterministic.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Request is one inference request.
+type Request struct {
+	ID int
+	// PromptLen is the number of prompt tokens.
+	PromptLen int
+	// GenLen is the number of tokens to generate.
+	GenLen int
+}
+
+// TotalLen is the final context length of the request.
+func (r Request) TotalLen() int { return r.PromptLen + r.GenLen }
+
+// Config describes a workload (Tab. 1, W; Tab. 3).
+type Config struct {
+	Name string
+	// AvgPrompt and MaxPrompt are the prompt-length statistics (s).
+	AvgPrompt int
+	MaxPrompt int
+	// MinPrompt anchors the low end of the distribution.
+	MinPrompt int
+	// GenLen is the generation length per request (n).
+	GenLen int
+	// NumRequests is how many requests the benchmark replays.
+	NumRequests int
+	// Skew shapes the length distribution: 0 = symmetric triangular
+	// around AvgPrompt, >0 = right-tailed (a few long prompts), <0 =
+	// left-tailed.
+	Skew float64
+}
+
+// Validate reports an error for inconsistent configs.
+func (c Config) Validate() error {
+	switch {
+	case c.AvgPrompt <= 0 || c.GenLen <= 0 || c.NumRequests <= 0:
+		return fmt.Errorf("workload: %s: non-positive sizes", c.Name)
+	case c.MaxPrompt < c.AvgPrompt:
+		return fmt.Errorf("workload: %s: MaxPrompt (%d) < AvgPrompt (%d)", c.Name, c.MaxPrompt, c.AvgPrompt)
+	case c.MinPrompt > c.AvgPrompt:
+		return fmt.Errorf("workload: %s: MinPrompt (%d) > AvgPrompt (%d)", c.Name, c.MinPrompt, c.AvgPrompt)
+	case c.MinPrompt < 0:
+		return fmt.Errorf("workload: %s: negative MinPrompt", c.Name)
+	}
+	return nil
+}
+
+// WithGenLen returns a copy with a different generation length, used by
+// the Fig. 7 sweeps over gen ∈ {32, 64, 128, 256}.
+func (c Config) WithGenLen(n int) Config {
+	c.GenLen = n
+	return c
+}
+
+// WithRequests returns a copy with a different request count.
+func (c Config) WithRequests(n int) Config {
+	c.NumRequests = n
+	return c
+}
+
+// Generate produces a deterministic request set matching the
+// distribution. The sample mean is nudged to land within ~1% of
+// AvgPrompt so downstream capacity math is stable across seeds.
+func (c Config) Generate(seed int64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Request, c.NumRequests)
+	for i := range reqs {
+		reqs[i] = Request{ID: i, PromptLen: c.sample(rng), GenLen: c.GenLen}
+	}
+	c.recenter(reqs)
+	return reqs
+}
+
+// sample draws one prompt length. The generator mixes a triangular body
+// with a tail controlled by Skew, clamped to [MinPrompt, MaxPrompt].
+func (c Config) sample(rng *rand.Rand) int {
+	min, avg, max := float64(c.MinPrompt), float64(c.AvgPrompt), float64(c.MaxPrompt)
+	if min >= max {
+		return int(avg)
+	}
+	var v float64
+	if c.Skew > 0 && rng.Float64() < c.Skew {
+		// Tail draw: uniform between avg and max.
+		v = avg + rng.Float64()*(max-avg)
+	} else {
+		// Body: triangular around the average.
+		u := rng.Float64() + rng.Float64()
+		if u > 1 {
+			u = 2 - u
+		}
+		span := avg - min
+		if span > max-avg {
+			span = max - avg
+		}
+		if span < 1 {
+			span = 1
+		}
+		if rng.Intn(2) == 0 {
+			v = avg - u*span
+		} else {
+			v = avg + u*span
+		}
+	}
+	if v < min {
+		v = min
+	}
+	if v > max {
+		v = max
+	}
+	return int(v + 0.5)
+}
+
+// recenter shifts sampled lengths so that the mean matches AvgPrompt.
+func (c Config) recenter(reqs []Request) {
+	if len(reqs) == 0 {
+		return
+	}
+	var sum int
+	for _, r := range reqs {
+		sum += r.PromptLen
+	}
+	delta := c.AvgPrompt - sum/len(reqs)
+	if delta == 0 {
+		return
+	}
+	for i := range reqs {
+		p := reqs[i].PromptLen + delta
+		if p < c.MinPrompt {
+			p = c.MinPrompt
+		}
+		if p > c.MaxPrompt {
+			p = c.MaxPrompt
+		}
+		reqs[i].PromptLen = p
+	}
+}
+
+// Stats summarizes a request set.
+type Stats struct {
+	Count                    int
+	AvgPrompt, MaxPrompt     int
+	MinPrompt, MedianPrompt  int
+	TotalPrompt, TotalGenLen int
+}
+
+// Summarize computes Stats for a request set.
+func Summarize(reqs []Request) Stats {
+	if len(reqs) == 0 {
+		return Stats{}
+	}
+	lens := make([]int, len(reqs))
+	s := Stats{Count: len(reqs), MinPrompt: reqs[0].PromptLen}
+	for i, r := range reqs {
+		lens[i] = r.PromptLen
+		s.TotalPrompt += r.PromptLen
+		s.TotalGenLen += r.GenLen
+		if r.PromptLen > s.MaxPrompt {
+			s.MaxPrompt = r.PromptLen
+		}
+		if r.PromptLen < s.MinPrompt {
+			s.MinPrompt = r.PromptLen
+		}
+	}
+	sort.Ints(lens)
+	s.AvgPrompt = s.TotalPrompt / len(reqs)
+	s.MedianPrompt = lens[len(lens)/2]
+	return s
+}
+
+// Pad returns a copy of reqs with every prompt padded to the maximum
+// prompt length in the set — FlexGen's request handling, and the paper's
+// MoE-Lightning (p) variant.
+func Pad(reqs []Request) []Request {
+	maxLen := 0
+	for _, r := range reqs {
+		if r.PromptLen > maxLen {
+			maxLen = r.PromptLen
+		}
+	}
+	out := make([]Request, len(reqs))
+	for i, r := range reqs {
+		r.PromptLen = maxLen
+		out[i] = r
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for name, cfg := range Presets() {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGenerateMatchesTable3Stats(t *testing.T) {
+	for _, tc := range []struct {
+		cfg     Config
+		avgTol  int
+		wantMax int
+	}{
+		{MTBench(128), 8, 418},
+		{SyntheticReasoning(), 5, 256},
+		{Summarization(), 34, 1984},
+	} {
+		reqs := tc.cfg.Generate(1)
+		st := Summarize(reqs)
+		if st.Count != tc.cfg.NumRequests {
+			t.Errorf("%s: %d requests, want %d", tc.cfg.Name, st.Count, tc.cfg.NumRequests)
+		}
+		if diff := st.AvgPrompt - tc.cfg.AvgPrompt; diff > tc.avgTol || diff < -tc.avgTol {
+			t.Errorf("%s: avg prompt %d, want %d +- %d", tc.cfg.Name, st.AvgPrompt, tc.cfg.AvgPrompt, tc.avgTol)
+		}
+		if st.MaxPrompt > tc.wantMax {
+			t.Errorf("%s: max prompt %d exceeds s_max %d", tc.cfg.Name, st.MaxPrompt, tc.wantMax)
+		}
+		if st.MinPrompt < tc.cfg.MinPrompt {
+			t.Errorf("%s: min prompt %d below floor %d", tc.cfg.Name, st.MinPrompt, tc.cfg.MinPrompt)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MTBench(64).Generate(7)
+	b := MTBench(64).Generate(7)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs across same-seed runs", i)
+		}
+	}
+	c := MTBench(64).Generate(8)
+	same := true
+	for i := range a {
+		if a[i].PromptLen != c[i].PromptLen {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical request sets")
+	}
+}
+
+func TestPad(t *testing.T) {
+	reqs := []Request{{ID: 0, PromptLen: 10, GenLen: 4}, {ID: 1, PromptLen: 30, GenLen: 4}}
+	padded := Pad(reqs)
+	if padded[0].PromptLen != 30 || padded[1].PromptLen != 30 {
+		t.Errorf("pad = %+v, want all prompts 30", padded)
+	}
+	if reqs[0].PromptLen != 10 {
+		t.Error("Pad must not mutate its input")
+	}
+	if padded[0].GenLen != 4 {
+		t.Error("Pad must preserve generation length")
+	}
+}
+
+func TestPadProperty(t *testing.T) {
+	f := func(lens []uint8) bool {
+		if len(lens) == 0 {
+			return true
+		}
+		reqs := make([]Request, len(lens))
+		max := 0
+		for i, l := range lens {
+			reqs[i] = Request{ID: i, PromptLen: int(l) + 1}
+			if int(l)+1 > max {
+				max = int(l) + 1
+			}
+		}
+		for _, r := range Pad(reqs) {
+			if r.PromptLen != max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithGenLenAndRequests(t *testing.T) {
+	cfg := MTBench(32)
+	if cfg.WithGenLen(256).GenLen != 256 {
+		t.Error("WithGenLen")
+	}
+	if cfg.WithRequests(10).NumRequests != 10 {
+		t.Error("WithRequests")
+	}
+	if cfg.GenLen != 32 {
+		t.Error("With* must not mutate the receiver")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := map[string]func(*Config){
+		"zero avg":        func(c *Config) { c.AvgPrompt = 0 },
+		"max below avg":   func(c *Config) { c.MaxPrompt = c.AvgPrompt - 1 },
+		"min above avg":   func(c *Config) { c.MinPrompt = c.AvgPrompt + 1 },
+		"negative min":    func(c *Config) { c.MinPrompt = -1 },
+		"zero requests":   func(c *Config) { c.NumRequests = 0 },
+		"zero generation": func(c *Config) { c.GenLen = 0 },
+	}
+	for name, mutate := range cases {
+		cfg := MTBench(64)
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("%s: want validation error", name)
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if st := Summarize(nil); st.Count != 0 {
+		t.Error("empty summary must be zero")
+	}
+}
+
+func TestRequestTotalLen(t *testing.T) {
+	r := Request{PromptLen: 5, GenLen: 3}
+	if r.TotalLen() != 8 {
+		t.Error("TotalLen")
+	}
+}
+
+func TestGenerateBoundsProperty(t *testing.T) {
+	cfg := MTBench(64)
+	f := func(seed int64) bool {
+		for _, r := range cfg.WithRequests(200).Generate(seed) {
+			if r.PromptLen < cfg.MinPrompt || r.PromptLen > cfg.MaxPrompt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
