@@ -1,0 +1,3 @@
+module moelightning
+
+go 1.24
