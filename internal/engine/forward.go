@@ -1,115 +1,208 @@
 package engine
 
 import (
+	"fmt"
+
 	"moelightning/internal/tensor"
 )
 
 // Shared forward-pass kernels. Both the sequential reference and the
 // pipelined engine call exactly these functions, so their outputs are
-// bit-identical when the schedule is correct.
+// bit-identical when the schedule is correct. Batching never changes
+// the math: every per-token value is produced by the same sequence of
+// float operations regardless of how many tokens share the call, so a
+// batch-n result matches n single-token calls bit for bit.
 
 const ropeTheta = 10000
 
+// qkvViews splits a micro-batch QKV buffer into its three matrices.
+// The buffer holds the whole Q block [n, qdim], then the K block
+// [n, kvdim], then the V block [n, kvdim], so each projection is one
+// contiguous GEMM output.
+func qkvViews(data []float32, n, q, kv int) (Q, K, V tensor.Mat) {
+	Q = tensor.FromSlice(n, q, data[:n*q])
+	K = tensor.FromSlice(n, kv, data[n*q:n*(q+kv)])
+	V = tensor.FromSlice(n, kv, data[n*(q+kv):n*(q+2*kv)])
+	return Q, K, V
+}
+
 // preAttention computes the pre-attention stage for a group of tokens:
-// RMSNorm, Q/K/V projection and rotary embedding. x is [n, hidden],
-// positions[i] is token i's absolute position, qkv is [n, qdim+2*kvdim]
-// output (Q then K then V per row).
-func preAttention(layout Layout, layer []float32, x tensor.Mat, positions []int, qkv tensor.Mat) {
+// RMSNorm, one batched Q/K/V projection over the whole group, and
+// rotary embedding. x is [n, hidden], positions[i] is token i's
+// absolute position, qkv is the n*(qdim+2*kvdim) output buffer in
+// qkvViews layout.
+func preAttention(layout Layout, layer []float32, x tensor.Mat, positions []int, qkv []float32, scratch *ffnScratch) {
 	cfg := layout.cfg
-	q, kv := cfg.QDim(), cfg.KVDim()
-	normed := make([]float32, cfg.Hidden)
-	wq, wk, wv := layout.Wq(layer), layout.Wk(layer), layout.Wv(layer)
+	n := x.Rows
+	normed := scratch.normedView(n)
 	norm := layout.AttnNorm(layer)
-	for i := 0; i < x.Rows; i++ {
-		tensor.RMSNorm(normed, x.Row(i), norm, 1e-5)
-		row := qkv.Row(i)
-		nm := tensor.FromSlice(1, cfg.Hidden, normed)
-		tensor.MatMulT(tensor.FromSlice(1, q, row[:q]), nm, wq)
-		tensor.MatMulT(tensor.FromSlice(1, kv, row[q:q+kv]), nm, wk)
-		tensor.MatMulT(tensor.FromSlice(1, kv, row[q+kv:]), nm, wv)
-		tensor.RoPE(row[:q], cfg.HeadDim, positions[i], ropeTheta)
-		tensor.RoPE(row[q:q+kv], cfg.HeadDim, positions[i], ropeTheta)
+	for i := 0; i < n; i++ {
+		tensor.RMSNorm(normed.Row(i), x.Row(i), norm, 1e-5)
+	}
+	Q, K, V := qkvViews(qkv, n, cfg.QDim(), cfg.KVDim())
+	tensor.MatMulTParallel(Q, normed, layout.Wq(layer))
+	tensor.MatMulTParallel(K, normed, layout.Wk(layer))
+	tensor.MatMulTParallel(V, normed, layout.Wv(layer))
+	for i := 0; i < n; i++ {
+		tensor.RoPE(Q.Row(i), cfg.HeadDim, positions[i], ropeTheta)
+		tensor.RoPE(K.Row(i), cfg.HeadDim, positions[i], ropeTheta)
 	}
 }
 
-// postAttention applies the O projection, residual, FFN norm, router and
-// top-k expert FFN for a group of tokens. attnOut is [n, qdim]; x is
-// [n, hidden] and is updated in place (both residual adds). It returns
-// the expert indices chosen per token for routing statistics.
+// postAttention applies the O projection, residual, FFN norm, router
+// and top-k expert FFN for a group of tokens. attnOut is [n, qdim]; x
+// is [n, hidden] and is updated in place (both residual adds).
+//
+// Execution is expert-grouped: the whole group is routed first, token
+// indices are bucketed by chosen expert, and each expert with work runs
+// one [tokens_e, hidden] batched GEMM triple instead of tokens x topk
+// separate GEMVs. Per token the expert contributions accumulate in
+// ascending expert-id order independent of the grouping, so the result
+// is bit-identical for any batch shape.
+//
+// It returns the expert indices chosen per token (in routing order) for
+// routing statistics; the slices are backed by scratch and only valid
+// until the next call.
 func postAttention(layout Layout, layer []float32, attnOut, x tensor.Mat, scratch *ffnScratch) [][]int {
 	cfg := layout.cfg
-	wo := layout.Wo(layer)
-	router := layout.Router(layer)
+	n := x.Rows
+	if n > scratch.maxN {
+		panic(fmt.Sprintf("engine: batch of %d exceeds scratch capacity %d", n, scratch.maxN))
+	}
+	h, h2 := cfg.Hidden, cfg.Intermediate
+
+	// O projection + residual, one GEMM for the whole group.
+	proj := tensor.FromSlice(n, h, scratch.proj[:n*h])
+	tensor.MatMulTParallel(proj, attnOut, layout.Wo(layer))
+	for i := 0; i < n; i++ {
+		tensor.Add(x.Row(i), x.Row(i), proj.Row(i))
+	}
+
+	// FFN norm + batched router logits.
+	normed := scratch.normedView(n)
 	norm := layout.FFNNorm(layer)
-	chosen := make([][]int, x.Rows)
+	for i := 0; i < n; i++ {
+		tensor.RMSNorm(normed.Row(i), x.Row(i), norm, 1e-5)
+	}
+	logits := tensor.FromSlice(n, cfg.Experts, scratch.logits[:n*cfg.Experts])
+	tensor.MatMulTParallel(logits, normed, layout.Router(layer))
 
-	for i := 0; i < x.Rows; i++ {
-		// O projection + residual.
-		ao := tensor.FromSlice(1, cfg.QDim(), attnOut.Row(i))
-		tensor.MatMulT(tensor.FromSlice(1, cfg.Hidden, scratch.proj), ao, wo)
-		tensor.Add(x.Row(i), x.Row(i), scratch.proj)
-
-		// FFN norm.
-		tensor.RMSNorm(scratch.normed, x.Row(i), norm, 1e-5)
-		nm := tensor.FromSlice(1, cfg.Hidden, scratch.normed)
-
-		// Router: softmax over top-k logits, renormalized (Mixtral).
-		tensor.MatMulT(tensor.FromSlice(1, cfg.Experts, scratch.logits), nm, router)
-		topk := tensor.TopK(scratch.logits, cfg.TopK)
-		chosen[i] = topk
-		copy(scratch.gateWeights, scratch.logits)
-		sel := make([]float32, len(topk))
+	// Route every token, then bucket token indices by chosen expert.
+	// The gate weight softmax runs over the top-k logits in routing
+	// order, exactly as the per-token path did (Mixtral renorm).
+	for e := range scratch.bucketTok {
+		scratch.bucketTok[e] = scratch.bucketTok[e][:0]
+		scratch.bucketW[e] = scratch.bucketW[e][:0]
+	}
+	for i := 0; i < n; i++ {
+		row := logits.Row(i)
+		topk := tensor.TopKInto(scratch.chosen[i], row, cfg.TopK)
+		scratch.chosen[i] = topk
+		sel := scratch.sel[i*cfg.TopK : i*cfg.TopK+len(topk)]
 		for j, e := range topk {
-			sel[j] = scratch.gateWeights[e]
+			sel[j] = row[e]
 		}
 		tensor.Softmax(sel)
-
-		// Expert FFN: y = sum_e w_e * down(SiLU(gate(t)) * up(t)).
-		for j := range scratch.ffnOut {
-			scratch.ffnOut[j] = 0
-		}
 		for j, e := range topk {
-			gate, up, down := layout.Expert(layer, e)
-			tensor.MatMulT(tensor.FromSlice(1, cfg.Intermediate, scratch.gateAct), nm, gate)
-			tensor.MatMulT(tensor.FromSlice(1, cfg.Intermediate, scratch.upAct), nm, up)
-			tensor.SiLU(scratch.gateAct)
-			for k := range scratch.gateAct {
-				scratch.gateAct[k] *= scratch.upAct[k]
-			}
-			tensor.MatMulT(tensor.FromSlice(1, cfg.Hidden, scratch.proj),
-				tensor.FromSlice(1, cfg.Intermediate, scratch.gateAct), down)
-			tensor.Axpy(sel[j], scratch.proj, scratch.ffnOut)
+			scratch.bucketTok[e] = append(scratch.bucketTok[e], i)
+			scratch.bucketW[e] = append(scratch.bucketW[e], sel[j])
 		}
-		tensor.Add(x.Row(i), x.Row(i), scratch.ffnOut)
 	}
-	return chosen
+
+	// Expert FFN: y_t = sum_e w_te * down_e(SiLU(gate_e(t)) * up_e(t)),
+	// one batched GEMM triple per expert over its grouped tokens.
+	ffnOut := tensor.FromSlice(n, h, scratch.ffnOut[:n*h])
+	for i := range ffnOut.Data {
+		ffnOut.Data[i] = 0
+	}
+	for e := 0; e < cfg.Experts; e++ {
+		toks := scratch.bucketTok[e]
+		ne := len(toks)
+		if ne == 0 {
+			continue
+		}
+		xe := tensor.FromSlice(ne, h, scratch.xe[:ne*h])
+		for r, t := range toks {
+			copy(xe.Row(r), normed.Row(t))
+		}
+		gate, up, down := layout.Expert(layer, e)
+		gateAct := tensor.FromSlice(ne, h2, scratch.gateAct[:ne*h2])
+		upAct := tensor.FromSlice(ne, h2, scratch.upAct[:ne*h2])
+		tensor.MatMulTParallel(gateAct, xe, gate)
+		tensor.MatMulTParallel(upAct, xe, up)
+		tensor.SiLUMul(gateAct.Data, gateAct.Data, upAct.Data)
+		expProj := tensor.FromSlice(ne, h, scratch.expProj[:ne*h])
+		tensor.MatMulTParallel(expProj, gateAct, down)
+		weights := scratch.bucketW[e]
+		for r, t := range toks {
+			tensor.Axpy(weights[r], expProj.Row(r), ffnOut.Row(t))
+		}
+	}
+	for i := 0; i < n; i++ {
+		tensor.Add(x.Row(i), x.Row(i), ffnOut.Row(i))
+	}
+	return scratch.chosen[:n]
 }
 
-// ffnScratch is reusable per-token workspace for postAttention.
+// ffnScratch is reusable workspace for pre/postAttention sized for
+// batches of up to maxN tokens, so the steady-state forward pass never
+// allocates.
 type ffnScratch struct {
-	proj, normed, ffnOut []float32
-	logits, gateWeights  []float32
-	gateAct, upAct       []float32
+	maxN   int
+	hidden int
+
+	proj, normed, ffnOut []float32 // maxN x hidden
+	logits               []float32 // maxN x experts
+	sel                  []float32 // maxN x topk gate weights, routing order
+	chosen               [][]int   // per-token top-k views into chosenFlat
+	chosenFlat           []int
+	bucketTok            [][]int     // per-expert token indices
+	bucketW              [][]float32 // per-expert gate weights
+	xe, expProj          []float32   // maxN x hidden expert staging
+	gateAct, upAct       []float32   // maxN x intermediate
 }
 
-func newFFNScratch(layout Layout) *ffnScratch {
-	cfg := layout.cfg
-	return &ffnScratch{
-		proj:        make([]float32, cfg.Hidden),
-		normed:      make([]float32, cfg.Hidden),
-		ffnOut:      make([]float32, cfg.Hidden),
-		logits:      make([]float32, cfg.Experts),
-		gateWeights: make([]float32, cfg.Experts),
-		gateAct:     make([]float32, cfg.Intermediate),
-		upAct:       make([]float32, cfg.Intermediate),
+func newFFNScratch(layout Layout, maxN int) *ffnScratch {
+	if maxN < 1 {
+		maxN = 1
 	}
+	cfg := layout.cfg
+	s := &ffnScratch{
+		maxN:       maxN,
+		hidden:     cfg.Hidden,
+		proj:       make([]float32, maxN*cfg.Hidden),
+		normed:     make([]float32, maxN*cfg.Hidden),
+		ffnOut:     make([]float32, maxN*cfg.Hidden),
+		logits:     make([]float32, maxN*cfg.Experts),
+		sel:        make([]float32, maxN*cfg.TopK),
+		chosen:     make([][]int, maxN),
+		chosenFlat: make([]int, maxN*cfg.TopK),
+		bucketTok:  make([][]int, cfg.Experts),
+		bucketW:    make([][]float32, cfg.Experts),
+		xe:         make([]float32, maxN*cfg.Hidden),
+		expProj:    make([]float32, maxN*cfg.Hidden),
+		gateAct:    make([]float32, maxN*cfg.Intermediate),
+		upAct:      make([]float32, maxN*cfg.Intermediate),
+	}
+	for i := range s.chosen {
+		s.chosen[i] = s.chosenFlat[i*cfg.TopK : i*cfg.TopK : (i+1)*cfg.TopK]
+	}
+	for e := range s.bucketTok {
+		s.bucketTok[e] = make([]int, 0, maxN)
+		s.bucketW[e] = make([]float32, 0, maxN)
+	}
+	return s
+}
+
+// normedView is the [n, hidden] normalized-activation workspace.
+func (s *ffnScratch) normedView(n int) tensor.Mat {
+	return tensor.FromSlice(n, s.hidden, s.normed[:n*s.hidden])
 }
 
 // logitsFor computes the LM-head logits for one hidden state using the
-// tied embedding.
-func logitsFor(w *Weights, hidden []float32, logits []float32) {
-	normed := make([]float32, len(hidden))
+// tied embedding. normed is caller-owned scratch of len(hidden).
+func logitsFor(w *Weights, hidden, logits, normed []float32) {
 	tensor.RMSNorm(normed, hidden, w.FinalNorm, 1e-5)
-	tensor.MatMulT(tensor.FromSlice(1, w.Cfg.VocabSize, logits),
+	tensor.MatMulTParallel(tensor.FromSlice(1, w.Cfg.VocabSize, logits),
 		tensor.FromSlice(1, len(hidden), normed), w.Embedding)
 }

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"moelightning/internal/memory"
+	"moelightning/internal/model"
+	"moelightning/internal/tensor"
+)
+
+// TestPostAttentionBatchMatchesPerToken is the bit-identity guarantee
+// behind the expert-grouped rewrite: running a whole micro-batch
+// through postAttention must produce exactly the hidden states and
+// routing decisions of n independent single-token calls, because the
+// sequential reference engine runs the n=1 path.
+func TestPostAttentionBatchMatchesPerToken(t *testing.T) {
+	cfg := model.Tiny()
+	cpu := memory.NewArena("cpu", 1<<22)
+	w, err := NewRandomWeights(cpu, cfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := w.Layout
+	rng := rand.New(rand.NewSource(5))
+
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		layer := w.Layers[0].Data()
+		attn := tensor.NewMat(n, cfg.QDim())
+		x := tensor.NewMat(n, cfg.Hidden)
+		for i := range attn.Data {
+			attn.Data[i] = rng.Float32() - 0.5
+		}
+		for i := range x.Data {
+			x.Data[i] = rng.Float32() - 0.5
+		}
+		xBatch := x.Clone()
+		batchScratch := newFFNScratch(layout, n)
+		chosenBatch := postAttention(layout, layer, attn, xBatch, batchScratch)
+		// Copy before the next call reuses the scratch.
+		gotChosen := make([][]int, n)
+		for i, c := range chosenBatch {
+			gotChosen[i] = append([]int(nil), c...)
+		}
+
+		tokScratch := newFFNScratch(layout, 1)
+		for i := 0; i < n; i++ {
+			xi := tensor.FromSlice(1, cfg.Hidden, append([]float32(nil), x.Row(i)...))
+			ai := tensor.FromSlice(1, cfg.QDim(), attn.Row(i))
+			chosen := postAttention(layout, layer, ai, xi, tokScratch)
+			for j := range xi.Data {
+				if xi.Data[j] != xBatch.At(i, j) {
+					t.Fatalf("n=%d token %d dim %d: batch %v != per-token %v (must be bit-identical)",
+						n, i, j, xBatch.At(i, j), xi.Data[j])
+				}
+			}
+			if len(chosen[0]) != len(gotChosen[i]) {
+				t.Fatalf("n=%d token %d: chose %v vs %v", n, i, gotChosen[i], chosen[0])
+			}
+			for j, e := range chosen[0] {
+				if gotChosen[i][j] != e {
+					t.Fatalf("n=%d token %d: routing diverges %v vs %v", n, i, gotChosen[i], chosen[0])
+				}
+			}
+		}
+	}
+}
+
+// TestPreAttentionBatchMatchesPerToken checks the batched QKV
+// projection path the same way.
+func TestPreAttentionBatchMatchesPerToken(t *testing.T) {
+	cfg := model.Tiny()
+	cpu := memory.NewArena("cpu", 1<<22)
+	w, err := NewRandomWeights(cpu, cfg, 98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := w.Layout
+	rng := rand.New(rand.NewSource(6))
+	q, kv := cfg.QDim(), cfg.KVDim()
+
+	for _, n := range []int{1, 2, 4, 7} {
+		layer := w.Layers[1].Data()
+		x := tensor.NewMat(n, cfg.Hidden)
+		for i := range x.Data {
+			x.Data[i] = rng.Float32() - 0.5
+		}
+		positions := make([]int, n)
+		for i := range positions {
+			positions[i] = rng.Intn(40)
+		}
+		qkvBatch := make([]float32, n*(q+2*kv))
+		preAttention(layout, layer, x, positions, qkvBatch, newFFNScratch(layout, n))
+		Qb, Kb, Vb := qkvViews(qkvBatch, n, q, kv)
+
+		tokScratch := newFFNScratch(layout, 1)
+		qkvTok := make([]float32, q+2*kv)
+		for i := 0; i < n; i++ {
+			xi := tensor.FromSlice(1, cfg.Hidden, x.Row(i))
+			preAttention(layout, layer, xi, positions[i:i+1], qkvTok, tokScratch)
+			Qt, Kt, Vt := qkvViews(qkvTok, 1, q, kv)
+			for j := range Qt.Data {
+				if Qt.Data[j] != Qb.At(i, j) {
+					t.Fatalf("n=%d token %d: Q[%d] batch %v != per-token %v", n, i, j, Qb.At(i, j), Qt.Data[j])
+				}
+			}
+			for j := range Kt.Data {
+				if Kt.Data[j] != Kb.At(i, j) {
+					t.Fatalf("n=%d token %d: K[%d] diverges", n, i, j)
+				}
+				if Vt.Data[j] != Vb.At(i, j) {
+					t.Fatalf("n=%d token %d: V[%d] diverges", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineBitIdenticalHiddenStates goes beyond token equality: the
+// final hidden states of pipeline and reference must match bit for bit
+// after generation (argmax agreement could mask small drift).
+func TestPipelineBitIdenticalHiddenStates(t *testing.T) {
+	cfg := model.Tiny()
+	cpu, gpu, pinned, cacheArena := newTestArenas()
+	w, err := NewRandomWeights(cpu, cfg, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seqs, gen = 5, 6
+	prompts := testPrompts(seqs, 3, 8, cfg.VocabSize)
+
+	ref, err := NewReference(w, memory.NewArena("rc", 1<<22), seqs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Generate(prompts, gen); err != nil {
+		t.Fatal(err)
+	}
+
+	pl, err := NewPipeline(w, gpu, pinned, cacheArena, seqs, Config{MicroBatch: 2, MaxContext: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+	if _, err := pl.Generate(prompts, gen); err != nil {
+		t.Fatal(err)
+	}
+
+	for s := 0; s < seqs; s++ {
+		refRow := ref.hidden.Row(s)
+		plRow := pl.hidden.Row(s)
+		for i := range refRow {
+			if refRow[i] != plRow[i] {
+				t.Fatalf("seq %d hidden[%d]: pipeline %v != reference %v (must be bit-identical)",
+					s, i, plRow[i], refRow[i])
+			}
+		}
+	}
+}

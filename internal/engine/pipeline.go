@@ -49,11 +49,43 @@ type Pipeline struct {
 	// ExpertLoad counts expert selections per layer.
 	ExpertLoad [][]int64
 
-	scratch   *ffnScratch
-	logits    []float32
-	lookahead int
+	// mbOf maps a micro-batch's first sequence to its index, so lane
+	// tasks recover their buffers in O(1).
+	mbOf map[int]int
+
+	// Steady-state decode workspaces, allocated once at build time so
+	// lane tasks never allocate. The GPU lane serializes its tasks, so
+	// pre- and post-attention share one x staging buffer each across
+	// all micro-batches; the CPU lane owns one KV gather buffer, score
+	// scratch and attention item per micro-batch slot.
+	xPre, xPost      tensor.Mat
+	posBuf           []int
+	gatherK, gatherV []tensor.Mat
+	scores           [][]float32
+	attnItems        []tensor.AttnItem
+	maxContext       int
+
+	scratch    *ffnScratch
+	logits     []float32
+	normedHead []float32
+	lookahead  int
+
+	// kern selects the forward kernels; benchmarks swap in the seed
+	// scalar implementations to measure the optimized paths' speedup.
+	kern kernels
 
 	err atomic.Value
+}
+
+// kernels bundles the forward-pass implementations the lane tasks call.
+type kernels struct {
+	preAttn  func(layout Layout, layer []float32, x tensor.Mat, positions []int, qkv []float32, scratch *ffnScratch)
+	postAttn func(layout Layout, layer []float32, attnOut, x tensor.Mat, scratch *ffnScratch) [][]int
+	attend   func(items []tensor.AttnItem, nq, nkv, headDim int)
+}
+
+func defaultKernels() kernels {
+	return kernels{preAttn: preAttention, postAttn: postAttention, attend: tensor.AttendMany}
 }
 
 // Counters tallies data movement and kernel activity.
@@ -127,9 +159,10 @@ func NewPipeline(w *Weights, gpu, pinned, cacheArena *memory.Arena, numSeqs int,
 		w: w, layout: layout,
 		gpuArena: gpu, pinnedArena: pinned,
 		db: db, staging: staging, cache: cache,
-		hidden:  tensor.FromSlice(numSeqs, w.Cfg.Hidden, hiddenRegion.Data()),
-		scratch: newFFNScratch(layout),
-		logits:  make([]float32, w.Cfg.VocabSize),
+		hidden:     tensor.FromSlice(numSeqs, w.Cfg.Hidden, hiddenRegion.Data()),
+		logits:     make([]float32, w.Cfg.VocabSize),
+		normedHead: make([]float32, w.Cfg.Hidden),
+		kern:       defaultKernels(),
 	}
 	if len(cfg.Partition) > 0 {
 		p.mbs = cfg.Partition
@@ -145,6 +178,32 @@ func NewPipeline(w *Weights, gpu, pinned, cacheArena *memory.Arena, numSeqs int,
 			}
 			p.mbs = append(p.mbs, mb)
 		}
+	}
+
+	maxMB := 0
+	p.mbOf = make(map[int]int, len(p.mbs))
+	for j, mb := range p.mbs {
+		if len(mb) > maxMB {
+			maxMB = len(mb)
+		}
+		p.mbOf[mb[0]] = j
+	}
+	p.scratch = newFFNScratch(layout, maxMB)
+	p.xPre = tensor.NewMat(maxMB, w.Cfg.Hidden)
+	p.xPost = tensor.NewMat(maxMB, w.Cfg.Hidden)
+	p.posBuf = make([]int, maxMB)
+	p.maxContext = cfg.MaxContext
+	if p.maxContext < 1 {
+		p.maxContext = 1
+	}
+	p.gatherK = make([]tensor.Mat, maxMB)
+	p.gatherV = make([]tensor.Mat, maxMB)
+	p.scores = make([][]float32, maxMB)
+	p.attnItems = make([]tensor.AttnItem, maxMB)
+	for i := 0; i < maxMB; i++ {
+		p.gatherK[i] = tensor.NewMat(p.maxContext, w.Cfg.KVDim())
+		p.gatherV[i] = tensor.NewMat(p.maxContext, w.Cfg.KVDim())
+		p.scores[i] = make([]float32, p.maxContext)
 	}
 
 	q, kv := w.Cfg.QDim(), w.Cfg.KVDim()
@@ -240,8 +299,12 @@ type laneSet struct {
 	wg    sync.WaitGroup
 }
 
+// task identifies itself by (kind, l, j) coordinates instead of a
+// preformatted name so the per-step hot path never touches fmt; the
+// name is only rendered if the task fails.
 type task struct {
-	name string
+	kind string
+	l, j int
 	deps []*task
 	run  func() error
 	done chan struct{}
@@ -268,7 +331,7 @@ func newLaneSet() *laneSet {
 					<-d.done
 				}
 				if err := t.run(); err != nil {
-					t.fail(fmt.Errorf("%s: %w", t.name, err))
+					t.fail(fmt.Errorf("%s(%d,%d): %w", t.kind, t.l, t.j, err))
 				}
 				close(t.done)
 			}
@@ -282,11 +345,4 @@ func (ls *laneSet) close() {
 		close(ch)
 	}
 	ls.wg.Wait()
-}
-
-// submit queues a task on a lane and returns it for use as a dependency.
-func (p *Pipeline) submit(lane int, name string, deps []*task, run func() error) *task {
-	t := &task{name: name, deps: deps, run: run, done: make(chan struct{}), fail: p.fail}
-	p.lanes.chans[lane] <- t
-	return t
 }

@@ -28,7 +28,7 @@ func (p *Pipeline) Generate(prompts [][]int, genLen int) ([][]int, error) {
 	out := make([][]int, len(prompts))
 	next := make([]int, len(prompts))
 	for s := range prompts {
-		logitsFor(p.w, p.hidden.Row(s), p.logits)
+		logitsFor(p.w, p.hidden.Row(s), p.logits, p.normedHead)
 		next[s] = tensor.ArgMax(p.logits)
 	}
 
@@ -52,22 +52,11 @@ func (p *Pipeline) Generate(prompts [][]int, genLen int) ([][]int, error) {
 			return nil, err
 		}
 		for s := range prompts {
-			logitsFor(p.w, p.hidden.Row(s), p.logits)
+			logitsFor(p.w, p.hidden.Row(s), p.logits, p.normedHead)
 			next[s] = tensor.ArgMax(p.logits)
 		}
 	}
 	return out, nil
-}
-
-// taskSpec is a to-be-submitted task: symbolic construction first, then
-// submission in issue order, so dependencies may reference tasks that
-// are issued later on other lanes without any lookup races.
-type taskSpec struct {
-	lane int
-	name string
-	deps []*task
-	run  func() error
-	t    *task
 }
 
 // decodeStep executes Alg. 1 for one token position: every micro-batch
@@ -102,33 +91,33 @@ func (p *Pipeline) decodeStep(step int) error {
 	post := make([]*task, total+1)
 	pagesT := make([][]*task, L+1) // pagesT[l][pg]: page pg of virtual layer vbase+l+1
 	pinsT := make([][]*task, L+1)
-	mk := func(name string, run func() error) *task {
-		return &task{name: name, run: run, done: make(chan struct{}), fail: p.fail}
+	mk := func(kind string, l, j int, run func() error) *task {
+		return &task{kind: kind, l: l, j: j, run: run, done: make(chan struct{}), fail: p.fail}
 	}
 	for g := 1; g <= total; g++ {
 		l, j := (g-1)/nb, (g-1)%nb+1
 		v := vbase + l
 		mb := p.mbs[j-1]
 		jj := j - 1
-		pre[g] = mk(fmt.Sprintf("pre(%d,%d)", l, j), func() error {
+		pre[g] = mk("pre", l, j, func() error {
 			p.Counters.GPUKernels.Add(1)
 			return p.runPreAttn(v, mb, positions)
 		})
-		qkv[g] = mk(fmt.Sprintf("qkv(%d,%d)", l, j), func() error {
+		qkv[g] = mk("qkv", l, j, func() error {
 			memory.Copy(p.qkvCPU[jj], p.qkvGPU[jj])
 			p.Counters.DtoHFloats.Add(int64(p.qkvGPU[jj].Len()))
 			return nil
 		})
-		cattn[g] = mk(fmt.Sprintf("cattn(%d,%d)", l, j), func() error {
+		cattn[g] = mk("cattn", l, j, func() error {
 			p.Counters.CPUAttns.Add(1)
 			return p.runCPUAttn(l, mb)
 		})
-		loadh[g] = mk(fmt.Sprintf("loadh(%d,%d)", l, j), func() error {
+		loadh[g] = mk("loadh", l, j, func() error {
 			memory.Copy(p.attnGPU[jj], p.attnCPU[jj])
 			p.Counters.HtoDFloats.Add(int64(p.attnGPU[jj].Len()))
 			return nil
 		})
-		post[g] = mk(fmt.Sprintf("post(%d,%d)", l, j), func() error {
+		post[g] = mk("post", l, j, func() error {
 			p.Counters.GPUKernels.Add(1)
 			return p.runPostAttn(l, v, mb)
 		})
@@ -139,11 +128,11 @@ func (p *Pipeline) decodeStep(step int) error {
 		pinsT[l] = make([]*task, nb)
 		for pg := 0; pg < nb; pg++ {
 			vv, pp := v+1, pg
-			pagesT[l][pg] = mk(fmt.Sprintf("page(v%d,%d)", vv, pp), func() error {
+			pagesT[l][pg] = mk("page", vv, pp, func() error {
 				p.Counters.PagesMoved.Add(1)
 				return p.runPage(vv, pp)
 			})
-			pinsT[l][pg] = mk(fmt.Sprintf("pin(v%d,%d)", vv, pp), func() error {
+			pinsT[l][pg] = mk("pin", vv, pp, func() error {
 				return p.runPin(vv, pp)
 			})
 		}
@@ -231,46 +220,72 @@ func (p *Pipeline) attnPages() int {
 }
 
 // runPreAttn executes the pre-attention kernel for a micro-batch using
-// the GPU-resident weights of virtual layer v.
+// the GPU-resident weights of virtual layer v. The x staging buffer and
+// position buffer are pipeline-owned: GPU-lane tasks are serialized, so
+// sharing them across micro-batches is race-free.
 func (p *Pipeline) runPreAttn(v int, mb []int, positions []int) error {
 	layer := p.db.Slot(v).Data()
 	cfg := p.w.Cfg
 	q, kv := cfg.QDim(), cfg.KVDim()
+	n := len(mb)
 	j := p.mbIndex(mb)
-	qkv := tensor.FromSlice(len(mb), q+2*kv, p.qkvGPU[j].Data()[:len(mb)*(q+2*kv)])
-	x := tensor.NewMat(len(mb), cfg.Hidden)
-	pos := make([]int, len(mb))
+	qkv := p.qkvGPU[j].Data()[:n*(q+2*kv)]
+	x := tensor.FromSlice(n, cfg.Hidden, p.xPre.Data[:n*cfg.Hidden])
+	pos := p.posBuf[:n]
 	for i, s := range mb {
 		copy(x.Row(i), p.hidden.Row(s))
 		pos[i] = positions[s]
 	}
-	preAttention(p.layout, layer, x, pos, qkv)
+	p.kern.preAttn(p.layout, layer, x, pos, qkv, p.scratch)
 	return nil
 }
 
 // runCPUAttn appends the offloaded K/V to the cache and computes
-// attention for every sequence of the micro-batch on the CPU worker.
+// attention for the micro-batch on the CPU worker. Appends mutate the
+// cache's bookkeeping maps and stay serial; the attention itself fans
+// out across the micro-batch's sequences on the shared worker pool
+// (each sequence is an independent problem over read-only cache state).
 func (p *Pipeline) runCPUAttn(layer int, mb []int) error {
 	cfg := p.w.Cfg
 	q, kv := cfg.QDim(), cfg.KVDim()
+	n := len(mb)
 	j := p.mbIndex(mb)
-	qkv := p.qkvCPU[j].Data()
+	Q, K, V := qkvViews(p.qkvCPU[j].Data()[:n*(q+2*kv)], n, q, kv)
 	out := p.attnCPU[j].Data()
 	for i, s := range mb {
-		row := qkv[i*(q+2*kv) : (i+1)*(q+2*kv)]
-		if err := p.cache.Append(s, layer, row[q:q+kv], row[q+kv:]); err != nil {
+		if err := p.cache.Append(s, layer, K.Row(i), V.Row(i)); err != nil {
 			return err
 		}
+	}
+	items := p.attnItems[:n]
+	for i, s := range mb {
 		ctx := p.cache.LayerLen(s, layer)
-		keys := tensor.NewMat(ctx, kv)
-		values := tensor.NewMat(ctx, kv)
+		keys, values, scores := p.gatherBufs(i, ctx)
 		if _, err := p.cache.Gather(s, layer, keys, values); err != nil {
 			return err
 		}
-		tensor.AttendOne(out[i*q:(i+1)*q], row[:q], keys, values,
-			cfg.QHeads, cfg.KVHeads, cfg.HeadDim, nil)
+		items[i] = tensor.AttnItem{
+			Out: out[i*q : (i+1)*q], Q: Q.Row(i), Scores: scores,
+			Keys: keys, Values: values,
+		}
 	}
+	p.kern.attend(items, cfg.QHeads, cfg.KVHeads, cfg.HeadDim)
 	return nil
+}
+
+// gatherBufs returns micro-batch slot i's KV gather matrices and score
+// scratch sized to ctx tokens, growing the backing buffers in the rare
+// case a sequence outruns the configured MaxContext.
+func (p *Pipeline) gatherBufs(i, ctx int) (keys, values tensor.Mat, scores []float32) {
+	kv := p.w.Cfg.KVDim()
+	if ctx > p.gatherK[i].Rows {
+		p.gatherK[i] = tensor.NewMat(2*ctx, kv)
+		p.gatherV[i] = tensor.NewMat(2*ctx, kv)
+		p.scores[i] = make([]float32, 2*ctx)
+	}
+	keys = tensor.FromSlice(ctx, kv, p.gatherK[i].Data[:ctx*kv])
+	values = tensor.FromSlice(ctx, kv, p.gatherV[i].Data[:ctx*kv])
+	return keys, values, p.scores[i][:ctx]
 }
 
 // runPostAttn executes O projection + MoE FFN for a micro-batch and
@@ -278,13 +293,14 @@ func (p *Pipeline) runCPUAttn(layer int, mb []int) error {
 func (p *Pipeline) runPostAttn(layer, v int, mb []int) error {
 	cfg := p.w.Cfg
 	data := p.db.Slot(v).Data()
+	n := len(mb)
 	j := p.mbIndex(mb)
-	attn := tensor.FromSlice(len(mb), cfg.QDim(), p.attnGPU[j].Data()[:len(mb)*cfg.QDim()])
-	x := tensor.NewMat(len(mb), cfg.Hidden)
+	attn := tensor.FromSlice(n, cfg.QDim(), p.attnGPU[j].Data()[:n*cfg.QDim()])
+	x := tensor.FromSlice(n, cfg.Hidden, p.xPost.Data[:n*cfg.Hidden])
 	for i, s := range mb {
 		copy(x.Row(i), p.hidden.Row(s))
 	}
-	chosen := postAttention(p.layout, data, attn, x, p.scratch)
+	chosen := p.kern.postAttn(p.layout, data, attn, x, p.scratch)
 	for i, s := range mb {
 		copy(p.hidden.Row(s), x.Row(i))
 		for _, e := range chosen[i] {
@@ -321,10 +337,11 @@ func (p *Pipeline) realLayer(v int) int {
 	return v % p.w.Cfg.Layers
 }
 
-// mbIndex recovers a micro-batch's index from its first sequence.
+// mbIndex recovers a micro-batch's index from its first sequence via
+// the map precomputed at build time.
 func (p *Pipeline) mbIndex(mb []int) int {
-	for j, cand := range p.mbs {
-		if len(cand) > 0 && len(mb) > 0 && cand[0] == mb[0] {
+	if len(mb) > 0 {
+		if j, ok := p.mbOf[mb[0]]; ok {
 			return j
 		}
 	}

@@ -11,13 +11,16 @@ import (
 // sequences' prompt tokens flow through it, and the per-layer K/V is
 // appended to the CPU cache. Computation is causal within each
 // sequence; the final hidden state of each prompt's last token seeds
-// decode.
+// decode. The QKV buffer's block layout (all Qs, then Ks, then Vs)
+// means the causal attention kernel reads the projection output
+// directly, with no re-packing copies.
 func (p *Pipeline) prefill(prompts [][]int) error {
 	cfg := p.w.Cfg
 	layout := p.layout
 	q, kv := cfg.QDim(), cfg.KVDim()
 
 	total := 0
+	maxLen := 0
 	rowOf := make([]int, len(prompts)) // first row of each sequence
 	for s, prompt := range prompts {
 		if len(prompt) == 0 {
@@ -25,13 +28,22 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 		}
 		rowOf[s] = total
 		total += len(prompt)
+		if len(prompt) > maxLen {
+			maxLen = len(prompt)
+		}
 	}
 
-	// Prompt-wide activations (the GPU prefill workspace).
+	// Prompt-wide hidden states plus per-sequence reusable workspaces
+	// (prompts can exceed the decode micro-batch, so prefill carries its
+	// own scratch).
 	x := tensor.NewMat(total, cfg.Hidden)
-	qkv := tensor.NewMat(total, q+2*kv)
-	attnOut := tensor.NewMat(total, q)
-	scratch := newFFNScratch(layout)
+	qkvBuf := make([]float32, maxLen*(q+2*kv))
+	attnOut := tensor.NewMat(maxLen, q)
+	positions := make([]int, maxLen)
+	for t := range positions {
+		positions[t] = t
+	}
+	scratch := newFFNScratch(layout, maxLen)
 
 	for s, prompt := range prompts {
 		for t, tok := range prompt {
@@ -47,17 +59,13 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 		for s, prompt := range prompts {
 			n := len(prompt)
 			rows := tensor.FromSlice(n, cfg.Hidden, x.Data[rowOf[s]*cfg.Hidden:(rowOf[s]+n)*cfg.Hidden])
-			qrows := tensor.FromSlice(n, q+2*kv, qkv.Data[rowOf[s]*(q+2*kv):(rowOf[s]+n)*(q+2*kv)])
-			positions := make([]int, n)
-			for t := range positions {
-				positions[t] = t
-			}
-			preAttention(layout, layer, rows, positions, qrows)
+			qkv := qkvBuf[:n*(q+2*kv)]
+			p.kern.preAttn(layout, layer, rows, positions[:n], qkv, scratch)
+			queries, keys, values := qkvViews(qkv, n, q, kv)
 
 			// Offload K/V to the CPU cache (prefill KV offloading, §4).
 			for t := 0; t < n; t++ {
-				row := qrows.Row(t)
-				if err := p.cache.Append(s, l, row[q:q+kv], row[q+kv:]); err != nil {
+				if err := p.cache.Append(s, l, keys.Row(t), values.Row(t)); err != nil {
 					return err
 				}
 				p.Counters.DtoHFloats.Add(int64(2 * kv))
@@ -65,18 +73,9 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 
 			// Causal attention over the prompt (GPU-side in the real
 			// system; the K/V just computed are still in registers/HBM).
-			keys := tensor.NewMat(n, kv)
-			values := tensor.NewMat(n, kv)
-			queries := tensor.NewMat(n, q)
-			for t := 0; t < n; t++ {
-				row := qrows.Row(t)
-				copy(queries.Row(t), row[:q])
-				copy(keys.Row(t), row[q:q+kv])
-				copy(values.Row(t), row[q+kv:])
-			}
-			arows := tensor.FromSlice(n, q, attnOut.Data[rowOf[s]*q:(rowOf[s]+n)*q])
+			arows := tensor.FromSlice(n, q, attnOut.Data[:n*q])
 			tensor.AttendCausal(arows, queries, keys, values, cfg.QHeads, cfg.KVHeads, cfg.HeadDim)
-			chosen := postAttention(layout, layer, arows, rows, scratch)
+			chosen := p.kern.postAttn(layout, layer, arows, rows, scratch)
 			for _, experts := range chosen {
 				for _, e := range experts {
 					p.ExpertLoad[l][e]++

@@ -19,6 +19,15 @@ type Reference struct {
 	hidden tensor.Mat
 	// ExpertLoad counts expert selections per layer for routing stats.
 	ExpertLoad [][]int64
+
+	// Preallocated per-step workspaces (decode is token-at-a-time, so
+	// one of each suffices).
+	scratch      *ffnScratch
+	qkv          []float32
+	attnOut      tensor.Mat
+	keys, values tensor.Mat
+	logits       []float32
+	normedHead   []float32
 }
 
 // NewReference builds a reference engine with its own KV cache.
@@ -31,18 +40,28 @@ func NewReference(w *Weights, cacheArena *memory.Arena, numSeqs, maxContext int)
 	for i := range load {
 		load[i] = make([]int64, w.Cfg.Experts)
 	}
+	if maxContext < 1 {
+		maxContext = 1
+	}
+	q, kv := w.Cfg.QDim(), w.Cfg.KVDim()
 	return &Reference{
 		w:          w,
 		cache:      cache,
 		hidden:     tensor.NewMat(numSeqs, w.Cfg.Hidden),
 		ExpertLoad: load,
+		scratch:    newFFNScratch(w.Layout, 1),
+		qkv:        make([]float32, q+2*kv),
+		attnOut:    tensor.NewMat(1, q),
+		keys:       tensor.NewMat(maxContext, kv),
+		values:     tensor.NewMat(maxContext, kv),
+		logits:     make([]float32, w.Cfg.VocabSize),
+		normedHead: make([]float32, w.Cfg.Hidden),
 	}, nil
 }
 
 // Generate runs prefill over the prompts and then greedy decode for
 // genLen steps, returning the generated token IDs per sequence.
 func (r *Reference) Generate(prompts [][]int, genLen int) ([][]int, error) {
-	cfg := r.w.Cfg
 	if len(prompts) > r.hidden.Rows {
 		return nil, fmt.Errorf("engine: %d prompts exceed capacity %d", len(prompts), r.hidden.Rows)
 	}
@@ -62,11 +81,10 @@ func (r *Reference) Generate(prompts [][]int, genLen int) ([][]int, error) {
 	}
 
 	// Greedy decode.
-	logits := make([]float32, cfg.VocabSize)
 	next := make([]int, len(prompts))
 	for s := range prompts {
-		logitsFor(r.w, r.hidden.Row(s), logits)
-		next[s] = tensor.ArgMax(logits)
+		logitsFor(r.w, r.hidden.Row(s), r.logits, r.normedHead)
+		next[s] = tensor.ArgMax(r.logits)
 	}
 	for t := 0; t < genLen; t++ {
 		for s := range prompts {
@@ -79,8 +97,8 @@ func (r *Reference) Generate(prompts [][]int, genLen int) ([][]int, error) {
 			if err := r.step(s, next[s]); err != nil {
 				return nil, err
 			}
-			logitsFor(r.w, r.hidden.Row(s), logits)
-			next[s] = tensor.ArgMax(logits)
+			logitsFor(r.w, r.hidden.Row(s), r.logits, r.normedHead)
+			next[s] = tensor.ArgMax(r.logits)
 		}
 	}
 	return out, nil
@@ -96,29 +114,29 @@ func (r *Reference) step(s, token int) error {
 
 	pos := r.cache.Len(s)
 	q, kv := cfg.QDim(), cfg.KVDim()
-	qkv := tensor.NewMat(1, q+2*kv)
-	attnOut := tensor.NewMat(1, q)
-	keys := tensor.NewMat(pos+1, kv)
-	values := tensor.NewMat(pos+1, kv)
-	scratch := newFFNScratch(layout)
+	if pos+1 > r.keys.Rows {
+		r.keys = tensor.NewMat(2*(pos+1), kv)
+		r.values = tensor.NewMat(2*(pos+1), kv)
+	}
 	xm := tensor.FromSlice(1, cfg.Hidden, x)
+	positions := [1]int{pos}
 
 	for l := 0; l < cfg.Layers; l++ {
 		layer := r.w.Layers[l].Data()
-		preAttention(layout, layer, xm, []int{pos}, qkv)
-		row := qkv.Row(0)
-		if err := r.cache.Append(s, l, row[q:q+kv], row[q+kv:]); err != nil {
+		preAttention(layout, layer, xm, positions[:], r.qkv, r.scratch)
+		Q, K, V := qkvViews(r.qkv, 1, q, kv)
+		if err := r.cache.Append(s, l, K.Row(0), V.Row(0)); err != nil {
 			return err
 		}
-		ctx, err := r.cache.Gather(s, l, keys, values)
+		ctx, err := r.cache.Gather(s, l, r.keys, r.values)
 		if err != nil {
 			return err
 		}
-		tensor.AttendOne(attnOut.Row(0), row[:q],
-			tensor.Mat{Rows: ctx, Cols: kv, Data: keys.Data[:ctx*kv]},
-			tensor.Mat{Rows: ctx, Cols: kv, Data: values.Data[:ctx*kv]},
+		tensor.AttendOne(r.attnOut.Row(0), Q.Row(0),
+			tensor.Mat{Rows: ctx, Cols: kv, Data: r.keys.Data[:ctx*kv]},
+			tensor.Mat{Rows: ctx, Cols: kv, Data: r.values.Data[:ctx*kv]},
 			cfg.QHeads, cfg.KVHeads, cfg.HeadDim, nil)
-		chosen := postAttention(layout, layer, attnOut, xm, scratch)
+		chosen := postAttention(layout, layer, r.attnOut, xm, r.scratch)
 		for _, e := range chosen[0] {
 			r.ExpertLoad[l][e]++
 		}

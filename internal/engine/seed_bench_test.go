@@ -1,0 +1,183 @@
+package engine
+
+// The seed scalar forward path, preserved verbatim (modulo the QKV
+// buffer's block layout, which is plumbing) as the benchmark baseline
+// for the expert-grouped rewrite: token-at-a-time GEMVs, per-call
+// allocations, O(n*k^2) top-k and sequential attention, exactly as the
+// engine shipped before the kernel subsystem landed.
+
+import (
+	"math"
+
+	"moelightning/internal/tensor"
+)
+
+// seedRoPE is the seed rotary kernel: Pow and Sincos per element pair,
+// recomputed for every head.
+func seedRoPE(x []float32, headDim, pos int, theta float64) {
+	for h := 0; h+headDim <= len(x); h += headDim {
+		for i := 0; i < headDim/2; i++ {
+			freq := 1 / math.Pow(theta, float64(2*i)/float64(headDim))
+			angle := float64(pos) * freq
+			sin, cos := math.Sincos(angle)
+			a, b := x[h+2*i], x[h+2*i+1]
+			x[h+2*i] = a*float32(cos) - b*float32(sin)
+			x[h+2*i+1] = a*float32(sin) + b*float32(cos)
+		}
+	}
+}
+
+// seedMatMulT is the seed single-accumulator kernel.
+func seedMatMulT(dst, a, bT tensor.Mat) {
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		dr := dst.Row(i)
+		for j := 0; j < bT.Rows; j++ {
+			br := bT.Row(j)
+			var sum float32
+			for k, av := range ar {
+				sum += av * br[k]
+			}
+			dr[j] = sum
+		}
+	}
+}
+
+// seedTopK is the seed O(n*k^2) selection with the rescan.
+func seedTopK(x []float32, k int) []int {
+	if k > len(x) {
+		k = len(x)
+	}
+	contains := func(xs []int, v int) bool {
+		for _, x := range xs {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	idx := make([]int, 0, k)
+	for n := 0; n < k; n++ {
+		best := -1
+		for i, v := range x {
+			if contains(idx, i) {
+				continue
+			}
+			if best < 0 || v > x[best] {
+				best = i
+			}
+		}
+		idx = append(idx, best)
+	}
+	return idx
+}
+
+// seedScratch is the seed per-token workspace.
+type seedScratch struct {
+	proj, normed, ffnOut []float32
+	logits, gateWeights  []float32
+	gateAct, upAct       []float32
+}
+
+func newSeedScratch(layout Layout) *seedScratch {
+	cfg := layout.cfg
+	return &seedScratch{
+		proj:        make([]float32, cfg.Hidden),
+		normed:      make([]float32, cfg.Hidden),
+		ffnOut:      make([]float32, cfg.Hidden),
+		logits:      make([]float32, cfg.Experts),
+		gateWeights: make([]float32, cfg.Experts),
+		gateAct:     make([]float32, cfg.Intermediate),
+		upAct:       make([]float32, cfg.Intermediate),
+	}
+}
+
+func seedPreAttention(layout Layout, layer []float32, x tensor.Mat, positions []int, qkv []float32) {
+	cfg := layout.cfg
+	q, kv := cfg.QDim(), cfg.KVDim()
+	Q, K, V := qkvViews(qkv, x.Rows, q, kv)
+	normed := make([]float32, cfg.Hidden)
+	wq, wk, wv := layout.Wq(layer), layout.Wk(layer), layout.Wv(layer)
+	norm := layout.AttnNorm(layer)
+	for i := 0; i < x.Rows; i++ {
+		tensor.RMSNorm(normed, x.Row(i), norm, 1e-5)
+		nm := tensor.FromSlice(1, cfg.Hidden, normed)
+		seedMatMulT(tensor.FromSlice(1, q, Q.Row(i)), nm, wq)
+		seedMatMulT(tensor.FromSlice(1, kv, K.Row(i)), nm, wk)
+		seedMatMulT(tensor.FromSlice(1, kv, V.Row(i)), nm, wv)
+		seedRoPE(Q.Row(i), cfg.HeadDim, positions[i], ropeTheta)
+		seedRoPE(K.Row(i), cfg.HeadDim, positions[i], ropeTheta)
+	}
+}
+
+func seedPostAttention(layout Layout, layer []float32, attnOut, x tensor.Mat, scratch *seedScratch) [][]int {
+	cfg := layout.cfg
+	wo := layout.Wo(layer)
+	router := layout.Router(layer)
+	norm := layout.FFNNorm(layer)
+	chosen := make([][]int, x.Rows)
+
+	for i := 0; i < x.Rows; i++ {
+		// O projection + residual.
+		ao := tensor.FromSlice(1, cfg.QDim(), attnOut.Row(i))
+		seedMatMulT(tensor.FromSlice(1, cfg.Hidden, scratch.proj), ao, wo)
+		tensor.Add(x.Row(i), x.Row(i), scratch.proj)
+
+		// FFN norm.
+		tensor.RMSNorm(scratch.normed, x.Row(i), norm, 1e-5)
+		nm := tensor.FromSlice(1, cfg.Hidden, scratch.normed)
+
+		// Router: softmax over top-k logits, renormalized (Mixtral).
+		seedMatMulT(tensor.FromSlice(1, cfg.Experts, scratch.logits), nm, router)
+		topk := seedTopK(scratch.logits, cfg.TopK)
+		chosen[i] = topk
+		copy(scratch.gateWeights, scratch.logits)
+		sel := make([]float32, len(topk))
+		for j, e := range topk {
+			sel[j] = scratch.gateWeights[e]
+		}
+		tensor.Softmax(sel)
+
+		// Expert FFN: y = sum_e w_e * down(SiLU(gate(t)) * up(t)).
+		for j := range scratch.ffnOut {
+			scratch.ffnOut[j] = 0
+		}
+		for j, e := range topk {
+			gate, up, down := layout.Expert(layer, e)
+			seedMatMulT(tensor.FromSlice(1, cfg.Intermediate, scratch.gateAct), nm, gate)
+			seedMatMulT(tensor.FromSlice(1, cfg.Intermediate, scratch.upAct), nm, up)
+			tensor.SiLU(scratch.gateAct)
+			for k := range scratch.gateAct {
+				scratch.gateAct[k] *= scratch.upAct[k]
+			}
+			seedMatMulT(tensor.FromSlice(1, cfg.Hidden, scratch.proj),
+				tensor.FromSlice(1, cfg.Intermediate, scratch.gateAct), down)
+			tensor.Axpy(sel[j], scratch.proj, scratch.ffnOut)
+		}
+		tensor.Add(x.Row(i), x.Row(i), scratch.ffnOut)
+	}
+	return chosen
+}
+
+// seedAttend runs the micro-batch's attention sequentially with
+// per-call score allocation, as the seed CPU lane did.
+func seedAttend(items []tensor.AttnItem, nq, nkv, headDim int) {
+	for i := range items {
+		it := &items[i]
+		tensor.AttendOne(it.Out, it.Q, it.Keys, it.Values, nq, nkv, headDim, nil)
+	}
+}
+
+// newSeedKernels adapts the seed path to the pipeline's kernel hooks.
+func newSeedKernels(layout Layout) kernels {
+	scratch := newSeedScratch(layout)
+	return kernels{
+		preAttn: func(layout Layout, layer []float32, x tensor.Mat, positions []int, qkv []float32, _ *ffnScratch) {
+			seedPreAttention(layout, layer, x, positions, qkv)
+		},
+		postAttn: func(layout Layout, layer []float32, attnOut, x tensor.Mat, _ *ffnScratch) [][]int {
+			return seedPostAttention(layout, layer, attnOut, x, scratch)
+		},
+		attend: seedAttend,
+	}
+}

@@ -22,7 +22,21 @@ func AttendOne(out, q []float32, keys, values Mat, nq, nkv, headDim int, scores 
 	for h := 0; h < nq; h++ {
 		kvh := h / group
 		qh := q[h*headDim : (h+1)*headDim]
-		for t := 0; t < ctx; t++ {
+		// Two keys in flight per iteration: head dimensions are short,
+		// so a single dot product is latency-bound on its accumulation
+		// chain. Each score's own accumulation order is unchanged.
+		t := 0
+		for ; t+2 <= ctx; t += 2 {
+			k0 := keys.Row(t)[kvh*headDim : (kvh+1)*headDim]
+			k1 := keys.Row(t + 1)[kvh*headDim : (kvh+1)*headDim]
+			var s0, s1 float32
+			for i, qv := range qh {
+				s0 += qv * k0[i]
+				s1 += qv * k1[i]
+			}
+			scores[t], scores[t+1] = s0*scale, s1*scale
+		}
+		for ; t < ctx; t++ {
 			kRow := keys.Row(t)[kvh*headDim : (kvh+1)*headDim]
 			scores[t] = Dot(qh, kRow) * scale
 		}
@@ -36,6 +50,28 @@ func AttendOne(out, q []float32, keys, values Mat, nq, nkv, headDim int, scores 
 			Axpy(scores[t], vRow, oh)
 		}
 	}
+}
+
+// AttnItem is one independent single-token attention problem for
+// AttendMany: Out and Q are nq*headDim vectors, Keys/Values the cached
+// context, and Scores optional per-item scratch of length >= Keys.Rows
+// (allocated when nil, pass preallocated scratch for zero-alloc paths).
+type AttnItem struct {
+	Out, Q, Scores []float32
+	Keys, Values   Mat
+}
+
+// AttendMany computes a batch of independent single-token GQA attention
+// problems, fanned out across the default worker pool one item at a
+// time (items are coarse-grained: each is O(ctx * nq * headDim) work).
+// Bit-identical to calling AttendOne per item sequentially.
+func AttendMany(items []AttnItem, nq, nkv, headDim int) {
+	Default().ParallelFor(len(items), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			it := &items[i]
+			AttendOne(it.Out, it.Q, it.Keys, it.Values, nq, nkv, headDim, it.Scores)
+		}
+	})
 }
 
 // AttendCausal computes prefill attention for a whole prompt: queries

@@ -1,0 +1,85 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmark shapes roughly match one Tiny-MoE expert GEMM scaled up to
+// where kernel differences are visible: [rows, k] @ [n, k]T.
+func benchMats(rows, k, n int) (a, bT, dst Mat) {
+	rng := rand.New(rand.NewSource(1))
+	a = randMat(rng, rows, k)
+	bT = randMat(rng, n, k)
+	dst = NewMat(rows, n)
+	return a, bT, dst
+}
+
+// BenchmarkKernelsMatMulTSeedScalar is the seed one-accumulator loop.
+func BenchmarkKernelsMatMulTSeedScalar(b *testing.B) {
+	a, bT, dst := benchMats(32, 256, 256)
+	b.SetBytes(int64(4 * 32 * 256 * 256))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matMulTNaive(dst, a, bT)
+	}
+}
+
+// BenchmarkKernelsMatMulT is the blocked 4x2 register-tiled kernel.
+func BenchmarkKernelsMatMulT(b *testing.B) {
+	a, bT, dst := benchMats(32, 256, 256)
+	b.SetBytes(int64(4 * 32 * 256 * 256))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulT(dst, a, bT)
+	}
+}
+
+// BenchmarkKernelsMatMulTParallel adds the worker-pool row fan-out
+// (equal to the blocked kernel on a single-core runner).
+func BenchmarkKernelsMatMulTParallel(b *testing.B) {
+	a, bT, dst := benchMats(32, 256, 256)
+	b.SetBytes(int64(4 * 32 * 256 * 256))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTParallel(dst, a, bT)
+	}
+}
+
+// BenchmarkKernelsMatMulTSingleRow is the GEMV shape every per-token
+// seed call used (batch of one).
+func BenchmarkKernelsMatMulTSingleRow(b *testing.B) {
+	a, bT, dst := benchMats(1, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulT(dst, a, bT)
+	}
+}
+
+func BenchmarkKernelsSiLUMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	gate := make([]float32, 4096)
+	up := make([]float32, 4096)
+	dst := make([]float32, 4096)
+	for i := range gate {
+		gate[i] = rng.Float32() - 0.5
+		up[i] = rng.Float32() - 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SiLUMul(dst, gate, up)
+	}
+}
+
+func BenchmarkKernelsTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float32, 64)
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	buf := make([]int, 0, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = TopKInto(buf, x, 8)
+	}
+}

@@ -1,14 +1,19 @@
-// Package tensor provides the dense float32 kernels the functional
-// engine runs: matrix multiplication, RMSNorm, softmax, SiLU, rotary
-// embeddings and top-k selection. Everything is plain Go on flat
-// row-major slices — correctness and determinism over speed; the
-// performance of full-size models is the job of the perfmodel/sim
-// packages.
+// Package tensor provides the dense float32 compute kernels the
+// functional engine runs: blocked multi-row matrix multiplication with
+// worker-pool parallel variants, RMSNorm, softmax, fused SiLU, rotary
+// embeddings, batched attention and top-k selection. Everything is
+// plain Go on flat row-major slices. Kernels are deterministic by
+// construction: every variant of an operation computes each output
+// element with the same accumulation order, so the blocked, parallel
+// and batched paths agree bit for bit with their scalar counterparts
+// at any worker count. Modeling the performance of full-size models
+// remains the job of the perfmodel/sim packages.
 package tensor
 
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Mat is a row-major matrix view over a flat slice.
@@ -48,24 +53,82 @@ func (m Mat) Clone() Mat {
 	return out
 }
 
-// MatMul computes dst = a @ b for a [m,k] and b [k,n]. dst must be
-// [m,n] and distinct from a and b.
-func MatMul(dst, a, b Mat) {
+// Every matmul variant below computes each output element with a
+// single accumulator walking k in ascending order, so the blocked,
+// multi-row and parallel paths are bit-identical to the naive loop per
+// element: tiling only changes which elements are in flight, never the
+// accumulation order within one.
+
+// parallelFlops is the approximate multiply-add count under which the
+// Parallel variants stay sequential (fan-out overhead dominates).
+const parallelFlops = 16 * 1024
+
+// matMulCheck panics on a dst = a @ b shape mismatch (b [k,n]).
+func matMulCheck(dst, a, b Mat) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch [%d,%d]@[%d,%d]->[%d,%d]",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	for i := 0; i < a.Rows; i++ {
-		ar := a.Row(i)
-		dr := dst.Row(i)
+}
+
+// matMulTCheck panics on a dst = a @ bT.T shape mismatch (bT [n,k]).
+func matMulTCheck(dst, a, bT Mat) {
+	if a.Cols != bT.Cols || dst.Rows != a.Rows || dst.Cols != bT.Rows {
+		panic(fmt.Sprintf("tensor: matmulT shape mismatch [%d,%d]@[%d,%d]T->[%d,%d]",
+			a.Rows, a.Cols, bT.Rows, bT.Cols, dst.Rows, dst.Cols))
+	}
+}
+
+// MatMul computes dst = a @ b for a [m,k] and b [k,n]. dst must be
+// [m,n] and distinct from a and b.
+func MatMul(dst, a, b Mat) {
+	matMulCheck(dst, a, b)
+	matMulRows(dst, a, b, 0, a.Rows)
+}
+
+// MatMulParallel is MatMul with output rows tiled across the default
+// worker pool. Bit-identical to MatMul.
+func MatMulParallel(dst, a, b Mat) {
+	matMulCheck(dst, a, b)
+	if a.Rows*a.Cols*b.Cols < parallelFlops {
+		matMulRows(dst, a, b, 0, a.Rows)
+		return
+	}
+	Default().ParallelFor(a.Rows, 4, func(lo, hi int) {
+		matMulRows(dst, a, b, lo, hi)
+	})
+}
+
+// matMulRows computes dst rows [lo, hi) of a @ b, four output rows at a
+// time so each loaded b row feeds four accumulating output rows.
+func matMulRows(dst, a, b Mat, lo, hi int) {
+	k, n := a.Cols, b.Cols
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		a0, a1, a2, a3 := a.Row(i)[:k], a.Row(i + 1)[:k], a.Row(i + 2)[:k], a.Row(i + 3)[:k]
+		d0, d1, d2, d3 := dst.Row(i)[:n], dst.Row(i + 1)[:n], dst.Row(i + 2)[:n], dst.Row(i + 3)[:n]
+		for j := range d0 {
+			d0[j], d1[j], d2[j], d3[j] = 0, 0, 0, 0
+		}
+		for kk := 0; kk < k; kk++ {
+			br := b.Row(kk)[:n]
+			av0, av1, av2, av3 := a0[kk], a1[kk], a2[kk], a3[kk]
+			for j, bv := range br {
+				d0[j] += av0 * bv
+				d1[j] += av1 * bv
+				d2[j] += av2 * bv
+				d3[j] += av3 * bv
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		ar := a.Row(i)[:k]
+		dr := dst.Row(i)[:n]
 		for j := range dr {
 			dr[j] = 0
 		}
-		for k, av := range ar {
-			if av == 0 {
-				continue
-			}
-			br := b.Row(k)
+		for kk, av := range ar {
+			br := b.Row(kk)[:n]
 			for j, bv := range br {
 				dr[j] += av * bv
 			}
@@ -76,20 +139,97 @@ func MatMul(dst, a, b Mat) {
 // MatMulT computes dst = a @ bT.T for a [m,k] and bT [n,k] (b stored
 // transposed, the natural layout for projection weights).
 func MatMulT(dst, a, bT Mat) {
-	if a.Cols != bT.Cols || dst.Rows != a.Rows || dst.Cols != bT.Rows {
-		panic(fmt.Sprintf("tensor: matmulT shape mismatch [%d,%d]@[%d,%d]T->[%d,%d]",
-			a.Rows, a.Cols, bT.Rows, bT.Cols, dst.Rows, dst.Cols))
+	matMulTCheck(dst, a, bT)
+	matMulTBlock(dst, a, bT, 0, a.Rows, 0, bT.Rows)
+}
+
+// MatMulTParallel is MatMulT fanned out across the default worker
+// pool: output rows are tiled when there are enough of them to occupy
+// the workers, otherwise output columns (bT rows) are — so a
+// single-token GEMV against a large projection (the LM head) still
+// parallelizes. Bit-identical to MatMulT either way.
+func MatMulTParallel(dst, a, bT Mat) {
+	matMulTCheck(dst, a, bT)
+	if a.Rows*a.Cols*bT.Rows < parallelFlops {
+		matMulTBlock(dst, a, bT, 0, a.Rows, 0, bT.Rows)
+		return
 	}
-	for i := 0; i < a.Rows; i++ {
-		ar := a.Row(i)
-		dr := dst.Row(i)
-		for j := 0; j < bT.Rows; j++ {
-			br := bT.Row(j)
-			var sum float32
-			for k, av := range ar {
-				sum += av * br[k]
+	p := Default()
+	if a.Rows >= 4*p.Workers() || a.Rows >= bT.Rows {
+		p.ParallelFor(a.Rows, 4, func(lo, hi int) {
+			matMulTBlock(dst, a, bT, lo, hi, 0, bT.Rows)
+		})
+		return
+	}
+	p.ParallelFor(bT.Rows, 16, func(lo, hi int) {
+		matMulTBlock(dst, a, bT, 0, a.Rows, lo, hi)
+	})
+}
+
+// matMulTBlock computes the dst block rows [lo, hi) x cols [jlo, jhi)
+// of a @ bT.T with a 4x2 register tile: four a rows and two bT rows
+// stay live across the shared k loop, giving eight independent
+// accumulation chains and one-load-many-use reuse of both operands.
+func matMulTBlock(dst, a, bT Mat, lo, hi, jlo, jhi int) {
+	k, n := a.Cols, jhi
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		a0, a1, a2, a3 := a.Row(i)[:k], a.Row(i + 1)[:k], a.Row(i + 2)[:k], a.Row(i + 3)[:k]
+		d0, d1, d2, d3 := dst.Row(i)[:n], dst.Row(i + 1)[:n], dst.Row(i + 2)[:n], dst.Row(i + 3)[:n]
+		j := jlo
+		for ; j+2 <= n; j += 2 {
+			b0, b1 := bT.Row(j)[:k], bT.Row(j + 1)[:k]
+			var s00, s01, s10, s11, s20, s21, s30, s31 float32
+			for kk := range a0 {
+				av0, av1, av2, av3 := a0[kk], a1[kk], a2[kk], a3[kk]
+				bv0, bv1 := b0[kk], b1[kk]
+				s00 += av0 * bv0
+				s01 += av0 * bv1
+				s10 += av1 * bv0
+				s11 += av1 * bv1
+				s20 += av2 * bv0
+				s21 += av2 * bv1
+				s30 += av3 * bv0
+				s31 += av3 * bv1
 			}
-			dr[j] = sum
+			d0[j], d0[j+1] = s00, s01
+			d1[j], d1[j+1] = s10, s11
+			d2[j], d2[j+1] = s20, s21
+			d3[j], d3[j+1] = s30, s31
+		}
+		for ; j < n; j++ {
+			br := bT.Row(j)[:k]
+			var s0, s1, s2, s3 float32
+			for kk := range br {
+				bv := br[kk]
+				s0 += a0[kk] * bv
+				s1 += a1[kk] * bv
+				s2 += a2[kk] * bv
+				s3 += a3[kk] * bv
+			}
+			d0[j], d1[j], d2[j], d3[j] = s0, s1, s2, s3
+		}
+	}
+	for ; i < hi; i++ {
+		ar := a.Row(i)[:k]
+		dr := dst.Row(i)[:n]
+		j := jlo
+		for ; j+2 <= n; j += 2 {
+			b0, b1 := bT.Row(j)[:k], bT.Row(j + 1)[:k]
+			var s0, s1 float32
+			for kk, av := range ar {
+				s0 += av * b0[kk]
+				s1 += av * b1[kk]
+			}
+			dr[j], dr[j+1] = s0, s1
+		}
+		for ; j < n; j++ {
+			br := bT.Row(j)[:k]
+			var s float32
+			for kk, av := range ar {
+				s += av * br[kk]
+			}
+			dr[j] = s
 		}
 	}
 }
@@ -160,35 +300,60 @@ func SiLU(x []float32) {
 	}
 }
 
+// SiLUMul computes dst = silu(gate) * up elementwise, fusing the MoE
+// FFN activation into one pass. dst may alias gate or up. Bit-identical
+// to SiLU(gate) followed by an elementwise multiply.
+func SiLUMul(dst, gate, up []float32) {
+	for i, v := range gate {
+		dst[i] = v / (1 + float32(math.Exp(float64(-v)))) * up[i]
+	}
+}
+
 // TopK returns the indices of the k largest values in descending value
 // order; ties break toward the lower index for determinism.
 func TopK(x []float32, k int) []int {
+	if k < 0 {
+		k = 0
+	}
 	if k > len(x) {
 		k = len(x)
 	}
-	idx := make([]int, 0, k)
-	for n := 0; n < k; n++ {
-		best := -1
-		for i, v := range x {
-			if contains(idx, i) {
-				continue
-			}
-			if best < 0 || v > x[best] {
-				best = i
-			}
-		}
-		idx = append(idx, best)
-	}
-	return idx
+	return TopKInto(make([]int, 0, k), x, k)
 }
 
-func contains(xs []int, v int) bool {
-	for _, x := range xs {
-		if x == v {
-			return true
-		}
+// TopKInto is TopK writing into dst (which must have capacity >= min(k,
+// len(x)) and is truncated to length 0 first), for allocation-free
+// callers. It runs a single pass of partial insertion selection, O(n*k)
+// worst case: dst stays sorted by value descending with ties toward the
+// lower index, and each input either drops out immediately against the
+// current k-th value or shifts a suffix of the small dst array.
+func TopKInto(dst []int, x []float32, k int) []int {
+	if k > len(x) {
+		k = len(x)
 	}
-	return false
+	dst = dst[:0]
+	if k <= 0 {
+		return dst
+	}
+	for i, v := range x {
+		if len(dst) == k {
+			if v <= x[dst[k-1]] {
+				continue // ties keep the earlier index already in dst
+			}
+			dst = dst[:k-1]
+		}
+		// Indices arrive in ascending order, so on equal values the new
+		// element sorts after the incumbent: insert before the first
+		// strictly smaller value.
+		pos := len(dst)
+		for pos > 0 && v > x[dst[pos-1]] {
+			pos--
+		}
+		dst = append(dst, 0)
+		copy(dst[pos+1:], dst[pos:len(dst)-1])
+		dst[pos] = i
+	}
+	return dst
 }
 
 // ArgMax returns the index of the largest value (lowest index on ties).
@@ -202,17 +367,52 @@ func ArgMax(x []float32) int {
 	return best
 }
 
+// ropeFreqCache memoizes the per-(headDim, theta) inverse-frequency
+// table; the values match the per-element 1/theta^(2i/d) computation
+// bit for bit, they are just not recomputed on every call.
+var ropeFreqCache sync.Map
+
+type ropeKey struct {
+	headDim int
+	theta   float64
+}
+
+func ropeFreqs(headDim int, theta float64) []float64 {
+	key := ropeKey{headDim: headDim, theta: theta}
+	if v, ok := ropeFreqCache.Load(key); ok {
+		return v.([]float64)
+	}
+	t := make([]float64, headDim/2)
+	for i := range t {
+		t[i] = 1 / math.Pow(theta, float64(2*i)/float64(headDim))
+	}
+	v, _ := ropeFreqCache.LoadOrStore(key, t)
+	return v.([]float64)
+}
+
 // RoPE applies rotary position embeddings in place to a vector laid out
-// as consecutive heads of headDim, for absolute position pos.
+// as consecutive heads of headDim, for absolute position pos. The
+// rotation angles depend only on (pos, i), so each pair's sin/cos is
+// computed once and reused across every head; outputs are bit-identical
+// to evaluating Pow and Sincos per element.
 func RoPE(x []float32, headDim, pos int, theta float64) {
 	if headDim%2 != 0 {
 		panic("tensor: RoPE requires even head dimension")
 	}
+	freqs := ropeFreqs(headDim, theta)
+	half := headDim / 2
+	var sinStack, cosStack [64]float64
+	sins, coss := sinStack[:], cosStack[:]
+	if half > len(sinStack) {
+		sins = make([]float64, half)
+		coss = make([]float64, half)
+	}
+	for i := 0; i < half; i++ {
+		sins[i], coss[i] = math.Sincos(float64(pos) * freqs[i])
+	}
 	for h := 0; h+headDim <= len(x); h += headDim {
-		for i := 0; i < headDim/2; i++ {
-			freq := 1 / math.Pow(theta, float64(2*i)/float64(headDim))
-			angle := float64(pos) * freq
-			sin, cos := math.Sincos(angle)
+		for i := 0; i < half; i++ {
+			sin, cos := sins[i], coss[i]
 			a, b := x[h+2*i], x[h+2*i+1]
 			x[h+2*i] = a*float32(cos) - b*float32(sin)
 			x[h+2*i+1] = a*float32(sin) + b*float32(cos)
