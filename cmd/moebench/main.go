@@ -4,6 +4,7 @@
 //
 //	moebench -exp fig7 [-settings S1,S2] [-gens 32,64,128,256]
 //	moebench -exp tab4 | tab5 | fig1 | fig4 | fig5 | fig6 | fig8 | fig9 | fig10
+//	moebench -exp serve   (streaming-server demo on the functional engine)
 //	moebench -exp all
 //
 // Each experiment prints the same rows/series the paper reports; see
@@ -11,17 +12,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"moelightning"
 	"moelightning/internal/experiments"
+	"moelightning/internal/metrics"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,tab4,tab5,disk,quant,sparsity,latency,all")
+	exp := flag.String("exp", "all", "experiment id: fig1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,tab4,tab5,disk,quant,sparsity,latency,serve,all")
 	settings := flag.String("settings", "S1,S2,S6,S7", "comma-separated settings for fig7")
 	gens := flag.String("gens", "32,64,128,256", "comma-separated generation lengths")
 	flag.Parse()
@@ -85,6 +89,8 @@ func main() {
 				return err
 			}
 			fmt.Print(experiments.RenderKVSparsity(rows))
+		case "serve":
+			return runServe()
 		case "tab4":
 			rows, err := experiments.Table4()
 			if err != nil {
@@ -111,7 +117,7 @@ func main() {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "tab4", "tab5", "disk", "quant", "sparsity", "latency"}
+		ids = []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "tab4", "tab5", "disk", "quant", "sparsity", "latency", "serve"}
 	}
 	for _, id := range ids {
 		fmt.Printf("==== %s ====\n", id)
@@ -120,6 +126,58 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runServe demonstrates the streaming serving API on the tiny
+// functional engine: continuous admission, per-token streams,
+// mid-generation cancellation, and TTFT/TPOT serving metrics.
+func runServe() error {
+	const genLen = 8
+	srv, err := moelightning.NewServer(moelightning.ServerConfig{
+		Model:  moelightning.TinyMoE(),
+		Seed:   2024,
+		GenLen: genLen,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	reqs := make([]moelightning.Request, 6)
+	for i := range reqs {
+		reqs[i] = moelightning.Request{ID: i + 1, PromptLen: 4 + 3*i, GenLen: genLen}
+	}
+	handles, err := srv.SubmitBatch(context.Background(), reqs)
+	if err != nil {
+		return err
+	}
+
+	// One extra request is canceled after its first token: its sequence
+	// retires at the next decode-step boundary and its KV slot frees.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	victim, err := srv.Submit(ctx, moelightning.Request{ID: 99, PromptLen: 10, GenLen: genLen})
+	if err != nil {
+		return err
+	}
+	if _, ok := <-victim.Tokens(); ok {
+		cancel()
+	}
+
+	table := &metrics.Table{Header: []string{"request", "prompt", "status", "tokens"}}
+	for _, h := range append(handles, victim) {
+		tokens, herr := h.Wait()
+		status := "completed"
+		if herr != nil {
+			status = "canceled"
+		}
+		table.Add(h.ID(), h.Request().PromptLen, status, fmt.Sprintf("%v", tokens))
+	}
+	fmt.Print(table.String())
+	st := srv.Stats()
+	fmt.Printf("waves %d, deferred %d, canceled %d; %d tokens at %.0f tok/s; TTFT %v, TPOT %v\n",
+		st.Waves, st.Deferred, st.Canceled, st.GeneratedTokens, st.TokensPerSecond, st.AvgTTFT, st.AvgTPOT)
+	return nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -1,13 +1,17 @@
 // MTBench reproduction: the paper's Fig. 7 end-to-end comparison on the
 // single-GPU settings — all five systems (FlexGen, FlexGen(c),
 // DeepSpeed, MoE-Lightning(p), MoE-Lightning) across generation lengths
-// on S1 and S2.
+// on S1 and S2 — followed by a live replay of an MTBench-shaped
+// workload through the streaming Server API on the tiny functional
+// engine.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"moelightning"
 	"moelightning/internal/experiments"
 )
 
@@ -45,4 +49,54 @@ func main() {
 				s, g, m["MoE-Lightning(p)"]/baseline, m["MoE-Lightning"]/baseline)
 		}
 	}
+
+	liveReplay()
+}
+
+// liveReplay pushes an MTBench-shaped micro workload through the
+// long-lived streaming Server: requests are admitted over time (one
+// batch, then a late straggler group), re-batched at wave boundaries,
+// and measured with serving metrics (TTFT/TPOT) instead of batch
+// throughput alone.
+func liveReplay() {
+	fmt.Println("\n== live replay: MTBench-shaped workload on the streaming server ==")
+	const genLen = 8
+	srv, err := moelightning.NewServer(moelightning.ServerConfig{
+		Model:  moelightning.TinyMoE(),
+		Seed:   7,
+		GenLen: genLen,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	wl := moelightning.MTBench(genLen)
+	reqs := wl.WithRequests(8).Generate(7)
+	for i := range reqs {
+		if reqs[i].PromptLen > 24 {
+			reqs[i].PromptLen = 24 // keep the demo quick
+		}
+	}
+
+	first, err := srv.SubmitBatch(context.Background(), reqs[:5])
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Stragglers arrive while the first waves are in flight; the
+	// admission loop folds them into the next wave boundary.
+	second, err := srv.SubmitBatch(context.Background(), reqs[5:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range append(first, second...) {
+		tokens, err := h.Wait()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  request %2d (prompt %2d): %v\n", h.ID(), h.Request().PromptLen, tokens)
+	}
+	st := srv.Stats()
+	fmt.Printf("served %d requests in %d waves (%d deferred): %.0f tok/s, TTFT %v, TPOT %v\n",
+		st.Completed, st.Waves, st.Deferred, st.TokensPerSecond, st.AvgTTFT, st.AvgTPOT)
 }

@@ -1,9 +1,12 @@
 // Quickstart: plan a policy for Mixtral 8x7B on a single 16 GB T4 with
-// the HRM-based optimizer, then simulate an end-to-end MTBench batch
-// inference run under CGOPipe — the paper's S1 headline setting.
+// the HRM-based optimizer, simulate an end-to-end MTBench batch
+// inference run under CGOPipe (the paper's S1 headline setting) — then
+// serve live requests through the streaming Server API on the tiny
+// functional engine, watching tokens arrive per decode step.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,4 +49,40 @@ func main() {
 	}
 	fmt.Println("== decode-step schedule (CGOPipe) ==")
 	fmt.Print(trace)
+
+	// Streaming serving: a long-lived Server over the tiny functional
+	// engine. Weights and arenas are built once; requests are admitted
+	// continuously, re-batched (Alg. 2) at every wave boundary, and each
+	// token streams out the moment its decode step completes.
+	fmt.Println("\n== streaming server (TinyMoE, real float32 math) ==")
+	srv, err := moelightning.NewServer(moelightning.ServerConfig{
+		Model:  moelightning.TinyMoE(),
+		Seed:   2024,
+		GenLen: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	handles := make([]*moelightning.Handle, 0, 5)
+	for id := 1; id <= 5; id++ {
+		h, err := srv.Submit(context.Background(), moelightning.Request{
+			ID: id, PromptLen: 4 + 3*id, GenLen: 8,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	for _, h := range handles {
+		fmt.Printf("request %d:", h.ID())
+		for tok := range h.Tokens() { // streams per decode step
+			fmt.Printf(" %d", tok.ID)
+		}
+		fmt.Println()
+	}
+	st := srv.Stats()
+	fmt.Printf("\nserved %d requests in %d waves (%d deferred): %.0f tok/s, TTFT %v, TPOT %v\n",
+		st.Completed, st.Waves, st.Deferred, st.TokensPerSecond, st.AvgTTFT, st.AvgTPOT)
 }

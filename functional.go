@@ -1,6 +1,7 @@
 package moelightning
 
 import (
+	"context"
 	"fmt"
 
 	"moelightning/internal/engine"
@@ -25,6 +26,12 @@ type FunctionalOptions struct {
 	GenLen int
 	// MaxContext bounds any sequence; default 128.
 	MaxContext int
+	// Lookahead is the pipeline's CPU-attention lookahead (Alg. 1's
+	// default of 2 when zero).
+	Lookahead int
+	// Vocab sizes the synthetic prompts derived from request IDs;
+	// default the model's vocabulary.
+	Vocab int
 	// Verify re-runs every request on the sequential reference engine
 	// and errors out on any token mismatch.
 	Verify bool
@@ -51,6 +58,9 @@ type FunctionalResult struct {
 	Outputs map[int][]int
 	// Waves is how many pipeline rounds served the queue.
 	Waves int
+	// Deferred counts requests pushed to a later wave at least once
+	// (Alg. 2's aborted list).
+	Deferred int
 	// HtoDFloats / DtoHFloats / PagesMoved account the data movement
 	// the pipeline performed (float32 units / page count).
 	HtoDFloats, DtoHFloats, PagesMoved int64
@@ -59,54 +69,60 @@ type FunctionalResult struct {
 }
 
 // RunFunctional serves a request queue through the functional CGOPipe
-// engine at tiny scale. Use TinyMoE() (or a similarly small config) —
-// this executes real float32 math, so full-size configs are
-// intentionally not supported.
+// engine at tiny scale: a thin compatibility wrapper over Server that
+// submits the whole queue at once and drains it, reproducing the
+// classic closed-batch behavior (every request generates exactly GenLen
+// tokens). Use TinyMoE() (or a similarly small config) — this executes
+// real float32 math, so full-size configs are intentionally not
+// supported.
 func RunFunctional(cfg ModelConfig, requests []Request, opts FunctionalOptions) (FunctionalResult, error) {
 	opts.defaults()
-	if err := cfg.Validate(); err != nil {
-		return FunctionalResult{}, err
-	}
-	if cfg.TotalParams() > 50_000_000 {
-		return FunctionalResult{}, fmt.Errorf("moelightning: %s has %d parameters; the functional engine is for tiny configs (use TinyMoE)",
-			cfg.Name, cfg.TotalParams())
-	}
 	if len(requests) == 0 {
 		return FunctionalResult{}, fmt.Errorf("moelightning: empty request queue")
 	}
-
-	layerFloats := engine.NewLayout(cfg).LayerFloats()
-	waveSeqs := opts.MicroBatchSize * opts.NumMicroBatches
-	cpu := memory.NewArena("cpu", cfg.Layers*layerFloats+4<<20)
-	gpu := memory.NewArena("gpu", 2*layerFloats+4<<20)
-	pinned := memory.NewArena("pinned", 2*layerFloats+4<<20)
-	cacheArena := memory.NewArena("kvcache", 2*waveSeqs*opts.MaxContext*cfg.KVDim()*2+4<<20)
-
-	w, err := engine.NewRandomWeights(cpu, cfg, opts.Seed)
-	if err != nil {
-		return FunctionalResult{}, err
-	}
-	res, err := engine.Serve(w, gpu, pinned, cacheArena, requests, engine.ServeConfig{
-		NumMicroBatches: opts.NumMicroBatches,
+	srv, err := NewServer(ServerConfig{
+		Model:           cfg,
+		Seed:            opts.Seed,
 		MicroBatchSize:  opts.MicroBatchSize,
+		NumMicroBatches: opts.NumMicroBatches,
 		GenLen:          opts.GenLen,
-		CacheTokens:     opts.MicroBatchSize * opts.MaxContext,
 		MaxContext:      opts.MaxContext,
+		Lookahead:       opts.Lookahead,
+		Vocab:           opts.Vocab,
+		FixedGenLen:     true,
 	})
 	if err != nil {
 		return FunctionalResult{}, err
 	}
-
-	out := FunctionalResult{
-		Outputs:    res.Outputs,
-		Waves:      res.Waves,
-		HtoDFloats: res.HtoDFloats,
-		DtoHFloats: res.DtoHFloats,
-		PagesMoved: res.PagesMoved,
+	handles, err := srv.SubmitBatch(context.Background(), requests)
+	if err != nil {
+		srv.Close()
+		return FunctionalResult{}, err
 	}
+	if err := srv.Close(); err != nil { // drains: every handle finishes
+		return FunctionalResult{}, err
+	}
+
+	out := FunctionalResult{Outputs: make(map[int][]int, len(handles))}
+	for _, h := range handles {
+		tokens, herr := h.Wait()
+		if herr != nil {
+			return FunctionalResult{}, herr
+		}
+		out.Outputs[h.ID()] = tokens
+	}
+	st := srv.Stats()
+	out.Waves = st.Waves
+	out.Deferred = st.Deferred
+	out.HtoDFloats = st.HtoDFloats
+	out.DtoHFloats = st.DtoHFloats
+	out.PagesMoved = st.PagesMoved
+
 	if opts.Verify {
-		prompts := engine.PromptsFromRequests(requests, cfg.VocabSize)
-		ref, err := engine.NewReference(w, memory.NewArena("ref", cacheArena.Capacity()), len(requests), opts.MaxContext)
+		// srv.vocab is the serving path's effective vocabulary, so the
+		// reference re-derives exactly the prompts the server used.
+		prompts := engine.PromptsFromRequests(requests, srv.vocab)
+		ref, err := engine.NewReference(srv.w, memory.NewArena("ref", srv.cacheCap), len(requests), opts.MaxContext)
 		if err != nil {
 			return out, err
 		}

@@ -49,10 +49,6 @@ type Pipeline struct {
 	// ExpertLoad counts expert selections per layer.
 	ExpertLoad [][]int64
 
-	// mbOf maps a micro-batch's first sequence to its index, so lane
-	// tasks recover their buffers in O(1).
-	mbOf map[int]int
-
 	// Steady-state decode workspaces, allocated once at build time so
 	// lane tasks never allocate. The GPU lane serializes its tasks, so
 	// pre- and post-attention share one x staging buffer each across
@@ -181,12 +177,10 @@ func NewPipeline(w *Weights, gpu, pinned, cacheArena *memory.Arena, numSeqs int,
 	}
 
 	maxMB := 0
-	p.mbOf = make(map[int]int, len(p.mbs))
-	for j, mb := range p.mbs {
+	for _, mb := range p.mbs {
 		if len(mb) > maxMB {
 			maxMB = len(mb)
 		}
-		p.mbOf[mb[0]] = j
 	}
 	p.scratch = newFFNScratch(layout, maxMB)
 	p.xPre = tensor.NewMat(maxMB, w.Cfg.Hidden)

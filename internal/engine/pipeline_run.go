@@ -11,6 +11,30 @@ import (
 // greedy decode steps under the CGOPipe pipeline, returning the
 // generated token IDs per sequence.
 func (p *Pipeline) Generate(prompts [][]int, genLen int) ([][]int, error) {
+	return p.GenerateStream(prompts, genLen, nil, nil)
+}
+
+// StepSink receives a generated token the moment the decode step that
+// produced it completes: seq is the pipeline sequence index, index the
+// token's position in that sequence's output, token the token id. It is
+// called from the generation goroutine, in ascending (index, seq) order.
+type StepSink func(seq, index, token int)
+
+// StopFunc is polled at every decode-step boundary for each live
+// sequence; emitted is how many tokens the sequence has produced so far.
+// Returning true retires the sequence: it stops computing, its KV blocks
+// return to the cache pool, and the surviving sequences' tokens are
+// unchanged — attention and the MoE FFN are sequence-independent and
+// bit-identical across batch shapes, so a retirement never perturbs its
+// former batch-mates.
+type StopFunc func(seq, emitted int) bool
+
+// GenerateStream is Generate with serving hooks: sink (may be nil)
+// observes each token as soon as its decode step completes, well before
+// the wave's final step; stop (may be nil) cancels individual sequences
+// mid-generation at step boundaries. Retired sequences return the tokens
+// emitted before retirement.
+func (p *Pipeline) GenerateStream(prompts [][]int, genLen int, sink StepSink, stop StopFunc) ([][]int, error) {
 	if p.closed {
 		return nil, fmt.Errorf("engine: pipeline is closed")
 	}
@@ -27,7 +51,10 @@ func (p *Pipeline) Generate(prompts [][]int, genLen int) ([][]int, error) {
 
 	out := make([][]int, len(prompts))
 	next := make([]int, len(prompts))
+	active := make([]bool, len(prompts))
+	live := len(prompts)
 	for s := range prompts {
+		active[s] = true
 		logitsFor(p.w, p.hidden.Row(s), p.logits, p.normedHead)
 		next[s] = tensor.ArgMax(p.logits)
 	}
@@ -39,24 +66,68 @@ func (p *Pipeline) Generate(prompts [][]int, genLen int) ([][]int, error) {
 
 	for t := 0; t < genLen; t++ {
 		for s := range prompts {
+			if !active[s] {
+				continue
+			}
 			out[s] = append(out[s], next[s])
+			if sink != nil {
+				sink(s, t, next[s])
+			}
 		}
 		if t == genLen-1 {
 			break
 		}
+		// Step boundary: retire canceled or individually-finished
+		// sequences before the next decode step touches them.
+		if stop != nil {
+			for s := range prompts {
+				if active[s] && stop(s, len(out[s])) {
+					p.retire(s)
+					active[s] = false
+					live--
+				}
+			}
+			if live == 0 {
+				break
+			}
+		}
 		// Embed this step's tokens into the hidden state (GPU side).
 		for s, tok := range next {
-			copy(p.hidden.Row(s), p.w.Embedding.Row(tok))
+			if active[s] {
+				copy(p.hidden.Row(s), p.w.Embedding.Row(tok))
+			}
 		}
 		if err := p.decodeStep(t); err != nil {
 			return nil, err
 		}
 		for s := range prompts {
-			logitsFor(p.w, p.hidden.Row(s), p.logits, p.normedHead)
-			next[s] = tensor.ArgMax(p.logits)
+			if active[s] {
+				logitsFor(p.w, p.hidden.Row(s), p.logits, p.normedHead)
+				next[s] = tensor.ArgMax(p.logits)
+			}
 		}
 	}
 	return out, nil
+}
+
+// retire removes sequence s from its micro-batch and releases its KV
+// blocks back to the cache pool. The micro-batch count — and with it the
+// task-graph shape and per-step weight-page traffic — is unchanged; an
+// emptied micro-batch simply computes nothing. Only called between
+// decode steps, when no lane task is in flight.
+func (p *Pipeline) retire(s int) {
+	for j, mb := range p.mbs {
+		for i, v := range mb {
+			if v == s {
+				trimmed := make([]int, 0, len(mb)-1)
+				trimmed = append(trimmed, mb[:i]...)
+				trimmed = append(trimmed, mb[i+1:]...)
+				p.mbs[j] = trimmed
+				p.cache.Release(s)
+				return
+			}
+		}
+	}
 }
 
 // decodeStep executes Alg. 1 for one token position: every micro-batch
@@ -101,7 +172,7 @@ func (p *Pipeline) decodeStep(step int) error {
 		jj := j - 1
 		pre[g] = mk("pre", l, j, func() error {
 			p.Counters.GPUKernels.Add(1)
-			return p.runPreAttn(v, mb, positions)
+			return p.runPreAttn(v, jj, mb, positions)
 		})
 		qkv[g] = mk("qkv", l, j, func() error {
 			memory.Copy(p.qkvCPU[jj], p.qkvGPU[jj])
@@ -110,7 +181,7 @@ func (p *Pipeline) decodeStep(step int) error {
 		})
 		cattn[g] = mk("cattn", l, j, func() error {
 			p.Counters.CPUAttns.Add(1)
-			return p.runCPUAttn(l, mb)
+			return p.runCPUAttn(l, jj, mb)
 		})
 		loadh[g] = mk("loadh", l, j, func() error {
 			memory.Copy(p.attnGPU[jj], p.attnCPU[jj])
@@ -119,7 +190,7 @@ func (p *Pipeline) decodeStep(step int) error {
 		})
 		post[g] = mk("post", l, j, func() error {
 			p.Counters.GPUKernels.Add(1)
-			return p.runPostAttn(l, v, mb)
+			return p.runPostAttn(l, v, jj, mb)
 		})
 	}
 	for l := 0; l <= L-1; l++ {
@@ -219,16 +290,18 @@ func (p *Pipeline) attnPages() int {
 	return table.NumPages
 }
 
-// runPreAttn executes the pre-attention kernel for a micro-batch using
+// runPreAttn executes the pre-attention kernel for micro-batch j using
 // the GPU-resident weights of virtual layer v. The x staging buffer and
 // position buffer are pipeline-owned: GPU-lane tasks are serialized, so
 // sharing them across micro-batches is race-free.
-func (p *Pipeline) runPreAttn(v int, mb []int, positions []int) error {
+func (p *Pipeline) runPreAttn(v, j int, mb []int, positions []int) error {
+	n := len(mb)
+	if n == 0 {
+		return nil // every sequence of this micro-batch was retired
+	}
 	layer := p.db.Slot(v).Data()
 	cfg := p.w.Cfg
 	q, kv := cfg.QDim(), cfg.KVDim()
-	n := len(mb)
-	j := p.mbIndex(mb)
 	qkv := p.qkvGPU[j].Data()[:n*(q+2*kv)]
 	x := tensor.FromSlice(n, cfg.Hidden, p.xPre.Data[:n*cfg.Hidden])
 	pos := p.posBuf[:n]
@@ -245,11 +318,13 @@ func (p *Pipeline) runPreAttn(v int, mb []int, positions []int) error {
 // cache's bookkeeping maps and stay serial; the attention itself fans
 // out across the micro-batch's sequences on the shared worker pool
 // (each sequence is an independent problem over read-only cache state).
-func (p *Pipeline) runCPUAttn(layer int, mb []int) error {
+func (p *Pipeline) runCPUAttn(layer, j int, mb []int) error {
+	n := len(mb)
+	if n == 0 {
+		return nil
+	}
 	cfg := p.w.Cfg
 	q, kv := cfg.QDim(), cfg.KVDim()
-	n := len(mb)
-	j := p.mbIndex(mb)
 	Q, K, V := qkvViews(p.qkvCPU[j].Data()[:n*(q+2*kv)], n, q, kv)
 	out := p.attnCPU[j].Data()
 	for i, s := range mb {
@@ -288,13 +363,15 @@ func (p *Pipeline) gatherBufs(i, ctx int) (keys, values tensor.Mat, scores []flo
 	return keys, values, p.scores[i][:ctx]
 }
 
-// runPostAttn executes O projection + MoE FFN for a micro-batch and
+// runPostAttn executes O projection + MoE FFN for micro-batch j and
 // writes the updated hidden states back.
-func (p *Pipeline) runPostAttn(layer, v int, mb []int) error {
+func (p *Pipeline) runPostAttn(layer, v, j int, mb []int) error {
+	n := len(mb)
+	if n == 0 {
+		return nil
+	}
 	cfg := p.w.Cfg
 	data := p.db.Slot(v).Data()
-	n := len(mb)
-	j := p.mbIndex(mb)
 	attn := tensor.FromSlice(n, cfg.QDim(), p.attnGPU[j].Data()[:n*cfg.QDim()])
 	x := tensor.FromSlice(n, cfg.Hidden, p.xPost.Data[:n*cfg.Hidden])
 	for i, s := range mb {
@@ -335,17 +412,6 @@ func (p *Pipeline) runPage(v, pg int) error {
 // realLayer maps a virtual layer index to the model layer it carries.
 func (p *Pipeline) realLayer(v int) int {
 	return v % p.w.Cfg.Layers
-}
-
-// mbIndex recovers a micro-batch's index from its first sequence via
-// the map precomputed at build time.
-func (p *Pipeline) mbIndex(mb []int) int {
-	if len(mb) > 0 {
-		if j, ok := p.mbOf[mb[0]]; ok {
-			return j
-		}
-	}
-	panic("engine: unknown micro-batch")
 }
 
 // loadLayerSync copies a whole layer into the double buffer through

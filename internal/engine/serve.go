@@ -1,9 +1,6 @@
 package engine
 
 import (
-	"fmt"
-
-	"moelightning/internal/batching"
 	"moelightning/internal/memory"
 	"moelightning/internal/workload"
 )
@@ -26,6 +23,12 @@ type ServeConfig struct {
 	Lookahead int
 	// Vocab sizes the synthetic prompts derived from request IDs.
 	Vocab int
+	// HonorRequestGenLen lets a request's own GenLen (when 0 < GenLen <
+	// the wave's GenLen) end it early, retiring its sequence and freeing
+	// its KV blocks mid-wave. Off, every request generates exactly
+	// GenLen tokens — the classic closed-batch behavior Serve and
+	// RunFunctional keep.
+	HonorRequestGenLen bool
 }
 
 // ServeResult is the outcome of serving a queue.
@@ -41,75 +44,37 @@ type ServeResult struct {
 	HtoDFloats, DtoHFloats, PagesMoved int64
 }
 
-// Serve drains the request queue through successive pipeline waves. The
-// weights live in their own arena and persist across waves; the GPU,
-// pinned and cache arenas are reset between waves (their regions die
-// with each wave's pipeline).
+// Serve drains a closed request queue through successive pipeline
+// waves: a thin wrapper over the long-lived Server that submits the
+// whole queue at once and waits for the drain. The weights live in
+// their own arena and persist across waves; the GPU, pinned and cache
+// arenas are reset between waves (their regions die with each wave's
+// pipeline).
 func Serve(w *Weights, gpu, pinned, cacheArena *memory.Arena, queue []workload.Request, cfg ServeConfig) (ServeResult, error) {
 	res := ServeResult{Outputs: make(map[int][]int)}
-	if cfg.Vocab <= 0 {
-		cfg.Vocab = w.Cfg.VocabSize
+	if len(queue) == 0 {
+		return res, nil
 	}
-	deferredOnce := map[int]bool{}
-	pending := append([]workload.Request(nil), queue...)
-	for len(pending) > 0 {
-		bcfg := batching.Config{
-			NumMicroBatches: cfg.NumMicroBatches,
-			MicroBatchSize:  cfg.MicroBatchSize,
-			GenLen:          cfg.GenLen,
-			CacheTokens:     cfg.CacheTokens,
-		}
-		mbs, aborted, err := batching.Batch(pending, bcfg)
-		if err != nil {
-			return res, err
-		}
-		if len(mbs) == 0 {
-			return res, fmt.Errorf("engine: %d requests cannot fit any micro-batch (first prompt %d tokens)",
-				len(aborted), aborted[0].PromptLen)
-		}
-		for _, r := range aborted {
-			deferredOnce[r.ID] = true
-		}
-
-		// Flatten the wave: sequence index -> request, and the explicit
-		// micro-batch partition for the pipeline.
-		var waveReqs []workload.Request
-		var partition [][]int
-		for _, mb := range mbs {
-			group := make([]int, 0, len(mb.Requests))
-			for _, r := range mb.Requests {
-				group = append(group, len(waveReqs))
-				waveReqs = append(waveReqs, r)
-			}
-			partition = append(partition, group)
-		}
-		prompts := PromptsFromRequests(waveReqs, cfg.Vocab)
-
-		gpu.Reset()
-		pinned.Reset()
-		cacheArena.Reset()
-		pl, err := NewPipeline(w, gpu, pinned, cacheArena, len(waveReqs), Config{
-			MaxContext: cfg.MaxContext,
-			Lookahead:  cfg.Lookahead,
-			Partition:  partition,
-		})
-		if err != nil {
-			return res, fmt.Errorf("engine: wave %d: %w", res.Waves+1, err)
-		}
-		tokens, err := pl.Generate(prompts, cfg.GenLen)
-		res.HtoDFloats += pl.Counters.HtoDFloats.Load()
-		res.DtoHFloats += pl.Counters.DtoHFloats.Load()
-		res.PagesMoved += pl.Counters.PagesMoved.Load()
-		pl.Close()
-		if err != nil {
-			return res, fmt.Errorf("engine: wave %d: %w", res.Waves+1, err)
-		}
-		for i, r := range waveReqs {
-			res.Outputs[r.ID] = tokens[i]
-		}
-		res.Waves++
-		pending = aborted
+	srv, err := NewServer(w, gpu, pinned, cacheArena, cfg)
+	if err != nil {
+		return res, err
 	}
-	res.Deferred = len(deferredOnce)
-	return res, nil
+	handles, err := srv.SubmitBatch(queue, nil)
+	if err != nil {
+		srv.Close()
+		return res, err
+	}
+	closeErr := srv.Close() // drains: every handle finishes
+	for _, h := range handles {
+		if tokens, herr := h.Wait(); herr == nil {
+			res.Outputs[h.ID()] = tokens
+		}
+	}
+	st := srv.Stats()
+	res.Waves = st.Waves
+	res.Deferred = st.Deferred
+	res.HtoDFloats = st.HtoDFloats
+	res.DtoHFloats = st.DtoHFloats
+	res.PagesMoved = st.PagesMoved
+	return res, closeErr
 }

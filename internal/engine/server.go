@@ -1,0 +1,598 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"moelightning/internal/batching"
+	"moelightning/internal/memory"
+	"moelightning/internal/workload"
+)
+
+// ErrCanceled is the terminal error of a request canceled by its
+// submitter. The handle still returns the tokens generated before the
+// cancellation took effect.
+var ErrCanceled = errors.New("engine: request canceled")
+
+// ErrServerClosed reports a Submit against a closed server.
+var ErrServerClosed = errors.New("engine: server closed")
+
+// ErrNoProgress reports that the batcher aborted the exact same request
+// set in two consecutive waves: those requests are being starved and
+// would defer forever, so they are failed instead of looped.
+var ErrNoProgress = errors.New("engine: batcher made no progress (same request set aborted twice in a row)")
+
+// Token is one streamed generation event.
+type Token struct {
+	// Index is the token's position in the request's output (0-based).
+	Index int
+	// ID is the generated token id.
+	ID int
+}
+
+// Handle follows one submitted request through the server.
+type Handle struct {
+	req    workload.Request
+	cancel <-chan struct{}
+	genLen int // effective generation length for this request
+
+	tokens chan Token
+	done   chan struct{}
+
+	mu                sync.Mutex
+	out               []int
+	err               error
+	deferred          bool
+	finished          bool
+	submitted         time.Time
+	firstTok, lastTok time.Time
+}
+
+func newHandle(req workload.Request, cancel <-chan struct{}, genLen int) *Handle {
+	if genLen < 0 {
+		genLen = 0
+	}
+	return &Handle{
+		req:       req,
+		cancel:    cancel,
+		genLen:    genLen,
+		tokens:    make(chan Token, genLen),
+		done:      make(chan struct{}),
+		submitted: time.Now(),
+	}
+}
+
+// Request returns the submitted request.
+func (h *Handle) Request() workload.Request { return h.req }
+
+// ID returns the request's id.
+func (h *Handle) ID() int { return h.req.ID }
+
+// Tokens streams generated tokens as their decode steps complete — the
+// first token arrives right after the wave's prefill, long before the
+// wave's final step. The channel is buffered for the full generation
+// length (the engine never blocks on a slow consumer) and is closed when
+// the request finishes.
+func (h *Handle) Tokens() <-chan Token { return h.tokens }
+
+// Done is closed when the request finishes: completed, canceled or
+// failed.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the request finishes and returns its generated
+// tokens. A canceled request returns the tokens produced before the
+// cancellation took effect alongside ErrCanceled.
+func (h *Handle) Wait() ([]int, error) {
+	<-h.done
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.out, h.err
+}
+
+// Err returns the request's terminal error: nil while it is still
+// running or after success, ErrCanceled after cancellation, or the wave
+// error that failed it.
+func (h *Handle) Err() error {
+	select {
+	case <-h.done:
+	default:
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.err
+}
+
+// push records and streams one token. Called only from the serving
+// goroutine; the buffered channel makes the send non-blocking.
+func (h *Handle) push(index, id int) {
+	now := time.Now()
+	h.mu.Lock()
+	h.out = append(h.out, id)
+	if index == 0 {
+		h.firstTok = now
+	}
+	h.lastTok = now
+	h.mu.Unlock()
+	select {
+	case h.tokens <- Token{Index: index, ID: id}:
+	default: // unreachable: capacity covers the full generation
+	}
+}
+
+func (h *Handle) canceled() bool {
+	if h.cancel == nil {
+		return false
+	}
+	select {
+	case <-h.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+func (h *Handle) finish(err error) {
+	h.mu.Lock()
+	if h.finished {
+		h.mu.Unlock()
+		return
+	}
+	h.finished = true
+	h.err = err
+	h.mu.Unlock()
+	close(h.tokens)
+	close(h.done)
+}
+
+// ServerStats is a snapshot of a server's serving metrics.
+type ServerStats struct {
+	// Request accounting: admitted, finished successfully, canceled,
+	// and failed (wave error / impossible to place).
+	Submitted, Completed, Canceled, Failed int
+	// Waves is how many pipeline waves completed; Deferred counts
+	// requests pushed to a later wave at least once (Alg. 2's aborted
+	// list).
+	Waves, Deferred int
+	// GeneratedTokens counts every token streamed to a handle.
+	GeneratedTokens int
+	// AvgTTFT is the mean time from Submit to a request's first token;
+	// AvgTPOT the mean time per output token after the first.
+	AvgTTFT, AvgTPOT time.Duration
+	// TokensPerSecond is generation throughput over busy (in-wave) time.
+	TokensPerSecond float64
+	// Data-movement totals across all waves (float32 units / pages).
+	HtoDFloats, DtoHFloats, PagesMoved int64
+}
+
+// Server is the long-lived serving engine: weights and arenas are built
+// once and persist across waves. Submit admits requests at any time; the
+// admission loop re-runs the Alg. 2 batcher over (deferred + newly
+// arrived) requests at every wave boundary and streams each token to its
+// handle as the producing decode step completes.
+type Server struct {
+	w                  *Weights
+	gpu, pinned, cache *memory.Arena
+	cfg                ServeConfig
+
+	submitCh chan []*Handle
+	closeCh  chan struct{}
+	doneCh   chan struct{}
+
+	mu       sync.Mutex
+	closed   bool
+	inflight int // submits past the closed check, not yet enqueued
+	firstErr error
+	stats    serverAccum
+}
+
+// serverAccum is the mutable half of ServerStats.
+type serverAccum struct {
+	submitted, completed, canceled, failed int
+	waves, deferred                        int
+	tokens                                 int
+	ttftSum, tpotSum                       time.Duration
+	ttftN, tpotN                           int
+	busy                                   time.Duration
+	htod, dtoh, pages                      int64
+}
+
+// NewServer builds the serving engine over explicit arenas and starts
+// its admission loop. The weights live in their own arena and persist;
+// the GPU, pinned and cache arenas are reset between waves.
+func NewServer(w *Weights, gpu, pinned, cacheArena *memory.Arena, cfg ServeConfig) (*Server, error) {
+	if cfg.Vocab <= 0 {
+		cfg.Vocab = w.Cfg.VocabSize
+	}
+	if cfg.GenLen < 0 {
+		return nil, fmt.Errorf("engine: negative GenLen %d", cfg.GenLen)
+	}
+	bcfg := batching.Config{
+		NumMicroBatches: cfg.NumMicroBatches,
+		MicroBatchSize:  cfg.MicroBatchSize,
+		GenLen:          cfg.GenLen,
+		CacheTokens:     cfg.CacheTokens,
+	}
+	if err := bcfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		w: w, gpu: gpu, pinned: pinned, cache: cacheArena,
+		cfg:      cfg,
+		submitCh: make(chan []*Handle, 64),
+		closeCh:  make(chan struct{}),
+		doneCh:   make(chan struct{}),
+	}
+	go s.loop()
+	return s, nil
+}
+
+// effGenLen resolves a request's generation length under the server
+// config: with HonorRequestGenLen, a request's own GenLen (capped at the
+// wave length) wins; otherwise every request runs the full wave length.
+func (s *Server) effGenLen(r workload.Request) int {
+	if s.cfg.HonorRequestGenLen && r.GenLen > 0 && r.GenLen < s.cfg.GenLen {
+		return r.GenLen
+	}
+	return s.cfg.GenLen
+}
+
+// Submit admits one request. cancel (may be nil) cancels the request
+// when closed: queued requests are dropped at the next wave boundary,
+// in-flight requests retire at the next decode-step boundary, freeing
+// their KV blocks; either way the handle finishes with ErrCanceled.
+func (s *Server) Submit(req workload.Request, cancel <-chan struct{}) (*Handle, error) {
+	hs, err := s.SubmitBatch([]workload.Request{req}, cancel)
+	if err != nil {
+		return nil, err
+	}
+	return hs[0], nil
+}
+
+// SubmitBatch admits a group of requests atomically: they reach the same
+// wave-boundary batching decision together, exactly as a closed queue
+// would (the RunFunctional compatibility wrapper relies on this). The
+// cancel channel, if non-nil, cancels the whole group.
+func (s *Server) SubmitBatch(reqs []workload.Request, cancel <-chan struct{}) ([]*Handle, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("engine: empty request batch")
+	}
+	hs := make([]*Handle, len(reqs))
+	for i, r := range reqs {
+		hs[i] = newHandle(r, cancel, s.effGenLen(r))
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	// The inflight count keeps the loop alive until this send lands,
+	// even if Close races in between: a batch accepted here is always
+	// served, never stranded.
+	s.inflight++
+	s.mu.Unlock()
+	s.submitCh <- hs
+	s.mu.Lock()
+	s.inflight--
+	s.mu.Unlock()
+	return hs, nil
+}
+
+// Close stops admission, serves every request already submitted, shuts
+// the loop down, and returns the first wave error (if any). It blocks
+// until the drain completes and is safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.closeCh)
+	}
+	s.mu.Unlock()
+	<-s.doneCh
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.firstErr
+}
+
+// Stats snapshots the server's serving metrics.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.stats
+	st := ServerStats{
+		Submitted: a.submitted, Completed: a.completed,
+		Canceled: a.canceled, Failed: a.failed,
+		Waves: a.waves, Deferred: a.deferred,
+		GeneratedTokens: a.tokens,
+		HtoDFloats:      a.htod, DtoHFloats: a.dtoh, PagesMoved: a.pages,
+	}
+	if a.ttftN > 0 {
+		st.AvgTTFT = a.ttftSum / time.Duration(a.ttftN)
+	}
+	if a.tpotN > 0 {
+		st.AvgTPOT = a.tpotSum / time.Duration(a.tpotN)
+	}
+	if a.busy > 0 {
+		st.TokensPerSecond = float64(a.tokens) / a.busy.Seconds()
+	}
+	return st
+}
+
+// loop is the admission loop: block until work (or close) arrives, admit
+// everything queued at the wave boundary, reap canceled queued requests,
+// and run one wave over (deferred + newly arrived) requests.
+func (s *Server) loop() {
+	defer close(s.doneCh)
+	var pending []*Handle
+	var prevAborted map[*Handle]struct{}
+	closing := false
+	for {
+		if !closing && len(pending) == 0 {
+			select {
+			case hs := <-s.submitCh:
+				pending = append(pending, s.admit(hs)...)
+			case <-s.closeCh:
+				closing = true
+			}
+		}
+		if !closing {
+			select {
+			case <-s.closeCh:
+				closing = true
+			default:
+			}
+		}
+		// Wave-boundary admission: pick up everything queued right now,
+		// including submits that raced Close.
+		for more := true; more; {
+			select {
+			case hs := <-s.submitCh:
+				pending = append(pending, s.admit(hs)...)
+			default:
+				more = false
+			}
+		}
+		// Reap requests canceled while still queued.
+		var live []*Handle
+		for _, h := range pending {
+			if h.canceled() {
+				s.finalize(h, ErrCanceled)
+				continue
+			}
+			live = append(live, h)
+		}
+		pending = live
+		if len(pending) == 0 {
+			if closing {
+				// Exit handshake. Read inflight BEFORE draining: a
+				// sender enqueues before decrementing, so inflight==0
+				// here means every accepted batch already sits in the
+				// buffer and the drain below sees it. inflight>0 means
+				// a Submit that passed the closed check is mid-send —
+				// yield and re-check rather than stranding its handles
+				// (or blocking on a channel it may never send to again).
+				s.mu.Lock()
+				inflight := s.inflight
+				s.mu.Unlock()
+				for more := true; more; {
+					select {
+					case hs := <-s.submitCh:
+						pending = append(pending, s.admit(hs)...)
+					default:
+						more = false
+					}
+				}
+				if len(pending) == 0 {
+					if inflight == 0 {
+						return
+					}
+					runtime.Gosched()
+				}
+				continue
+			}
+			prevAborted = nil
+			continue
+		}
+		pending, prevAborted = s.runWave(pending, prevAborted)
+	}
+}
+
+// runWave batches the pending requests, runs one pipeline wave over the
+// placed ones, and returns the deferred remainder plus the deferred
+// handle set for the next wave's no-progress comparison. Every handle
+// it does not return is finished (completed, canceled or failed).
+func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([]*Handle, map[*Handle]struct{}) {
+	reqs := make([]workload.Request, len(pending))
+	for i, h := range pending {
+		reqs[i] = h.req
+	}
+	mbs, aborted, err := batching.Batch(reqs, batching.Config{
+		NumMicroBatches: s.cfg.NumMicroBatches,
+		MicroBatchSize:  s.cfg.MicroBatchSize,
+		GenLen:          s.cfg.GenLen,
+		CacheTokens:     s.cfg.CacheTokens,
+	})
+	if err != nil {
+		s.failAll(pending, err)
+		return nil, nil
+	}
+	if len(mbs) == 0 {
+		s.failAll(pending, fmt.Errorf("engine: %d requests cannot fit any micro-batch (first prompt %d tokens)",
+			len(aborted), aborted[0].PromptLen))
+		return nil, nil
+	}
+
+	// Map the batcher's placement back onto handles. Duplicate request
+	// ids denote identical requests (prompts derive from the id), so a
+	// per-id FIFO keeps the mapping well-defined.
+	byID := make(map[int][]*Handle, len(pending))
+	for _, h := range pending {
+		byID[h.req.ID] = append(byID[h.req.ID], h)
+	}
+	take := func(id int) *Handle {
+		hs := byID[id]
+		h := hs[0]
+		byID[id] = hs[1:]
+		return h
+	}
+	var wave []*Handle
+	var partition [][]int
+	for _, mb := range mbs {
+		group := make([]int, 0, len(mb.Requests))
+		for _, r := range mb.Requests {
+			group = append(group, len(wave))
+			wave = append(wave, take(r.ID))
+		}
+		partition = append(partition, group)
+	}
+	var deferred []*Handle
+	for _, r := range aborted {
+		h := take(r.ID)
+		h.deferred = true
+		deferred = append(deferred, h)
+	}
+
+	// No-progress guard: if the batcher aborts the exact same requests
+	// (by handle identity, so duplicate-valued requests are never
+	// conflated) two waves running, those requests are starved — fail
+	// them instead of deferring forever.
+	var nextAborted map[*Handle]struct{}
+	if sameHandleSet(deferred, prevAborted) {
+		s.failAll(deferred, fmt.Errorf("%w: %d requests", ErrNoProgress, len(deferred)))
+		deferred = nil
+	} else if len(deferred) > 0 {
+		nextAborted = make(map[*Handle]struct{}, len(deferred))
+		for _, h := range deferred {
+			nextAborted[h] = struct{}{}
+		}
+	}
+
+	waveReqs := make([]workload.Request, len(wave))
+	for i, h := range wave {
+		waveReqs[i] = h.req
+	}
+	prompts := PromptsFromRequests(waveReqs, s.cfg.Vocab)
+
+	s.mu.Lock()
+	waveNum := s.stats.waves + 1
+	s.mu.Unlock()
+	start := time.Now()
+	s.gpu.Reset()
+	s.pinned.Reset()
+	s.cache.Reset()
+	pl, err := NewPipeline(s.w, s.gpu, s.pinned, s.cache, len(wave), Config{
+		MaxContext: s.cfg.MaxContext,
+		Lookahead:  s.cfg.Lookahead,
+		Partition:  partition,
+	})
+	if err != nil {
+		werr := fmt.Errorf("engine: wave %d: %w", waveNum, err)
+		s.failAll(wave, werr)
+		s.failAll(deferred, werr)
+		return nil, nil
+	}
+	sink := func(seq, index, token int) { wave[seq].push(index, token) }
+	stop := func(seq, emitted int) bool {
+		h := wave[seq]
+		return h.canceled() || emitted >= h.genLen
+	}
+	tokens, gerr := pl.GenerateStream(prompts, s.cfg.GenLen, sink, stop)
+	s.mu.Lock()
+	s.stats.htod += pl.Counters.HtoDFloats.Load()
+	s.stats.dtoh += pl.Counters.DtoHFloats.Load()
+	s.stats.pages += pl.Counters.PagesMoved.Load()
+	s.mu.Unlock()
+	pl.Close()
+	if gerr != nil {
+		werr := fmt.Errorf("engine: wave %d: %w", waveNum, gerr)
+		s.failAll(wave, werr)
+		s.failAll(deferred, werr)
+		return nil, nil
+	}
+	for i, h := range wave {
+		if len(tokens[i]) < h.genLen && h.canceled() {
+			s.finalize(h, ErrCanceled)
+		} else {
+			s.finalize(h, nil)
+		}
+	}
+	s.mu.Lock()
+	s.stats.waves++
+	s.stats.busy += time.Since(start)
+	s.mu.Unlock()
+	return deferred, nextAborted
+}
+
+// finalize finishes a handle and folds its outcome into the stats.
+func (s *Server) finalize(h *Handle, err error) {
+	h.finish(err)
+	h.mu.Lock()
+	n := len(h.out)
+	ttft := h.firstTok.Sub(h.submitted)
+	span := h.lastTok.Sub(h.firstTok)
+	wasDeferred := h.deferred
+	h.mu.Unlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case err == nil:
+		s.stats.completed++
+	case errors.Is(err, ErrCanceled):
+		s.stats.canceled++
+	default:
+		s.stats.failed++
+	}
+	if wasDeferred {
+		s.stats.deferred++
+	}
+	s.stats.tokens += n
+	if n > 0 {
+		s.stats.ttftSum += ttft
+		s.stats.ttftN++
+	}
+	if n > 1 {
+		s.stats.tpotSum += span / time.Duration(n-1)
+		s.stats.tpotN++
+	}
+}
+
+// admit counts a submitted batch into the stats as it enters the
+// pending set.
+func (s *Server) admit(hs []*Handle) []*Handle {
+	s.mu.Lock()
+	s.stats.submitted += len(hs)
+	s.mu.Unlock()
+	return hs
+}
+
+func (s *Server) failAll(hs []*Handle, err error) {
+	if len(hs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.mu.Unlock()
+	for _, h := range hs {
+		s.finalize(h, err)
+	}
+}
+
+// sameHandleSet reports whether the deferred handles are exactly the
+// previous wave's aborted set.
+func sameHandleSet(deferred []*Handle, prev map[*Handle]struct{}) bool {
+	if len(deferred) == 0 || len(deferred) != len(prev) {
+		return false
+	}
+	for _, h := range deferred {
+		if _, ok := prev[h]; !ok {
+			return false
+		}
+	}
+	return true
+}

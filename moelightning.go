@@ -10,12 +10,17 @@
 //   - a discrete-event simulator that executes the CGOPipe schedule
 //     (and the FlexGen / DeepSpeed baseline schedules) over FIFO
 //     hardware lanes, reproducing the paper's end-to-end evaluation;
-//   - a functional MoE engine — real tensor math at laptop scale — that
-//     runs CGOPipe with one goroutine per lane, paged weights and a
-//     CPU-resident paged KV cache, verified token-for-token against a
-//     sequential reference.
+//   - a streaming serving API over a functional MoE engine — real
+//     tensor math at laptop scale. A long-lived Server builds weights
+//     and memory arenas once, admits requests continuously, re-runs the
+//     paper's Alg. 2 batcher over (deferred + newly arrived) requests
+//     at every wave boundary, and streams each token the moment its
+//     decode step completes, all verified token-for-token against a
+//     sequential reference. Requests are cancelable mid-generation;
+//     a canceled sequence frees its KV slot without perturbing any
+//     other request's tokens.
 //
-// The typical flow:
+// Analysis flow (full-size models, no real math):
 //
 //	sys, _ := moelightning.New(moelightning.Config{
 //	    Model:    moelightning.Mixtral8x7B(),
@@ -25,6 +30,20 @@
 //	plan, _ := sys.Plan()                 // optimal policy via HRM
 //	res, _ := sys.Simulate(plan.Policy)   // simulated end-to-end run
 //	fmt.Println(res.TokensPerSecond)
+//
+// Serving flow (tiny models, real float32 math, per-token streams):
+//
+//	srv, _ := moelightning.NewServer(moelightning.ServerConfig{
+//	    Model: moelightning.TinyMoE(),
+//	})
+//	defer srv.Close()
+//	h, _ := srv.Submit(ctx, moelightning.Request{ID: 1, PromptLen: 12, GenLen: 8})
+//	for tok := range h.Tokens() {         // tokens stream per decode step
+//	    fmt.Println(tok.Index, tok.ID)
+//	}
+//	fmt.Println(srv.Stats().TokensPerSecond)
+//
+// RunFunctional remains as a one-shot closed-batch wrapper over Server.
 package moelightning
 
 import (

@@ -143,6 +143,9 @@ func TestRunFunctional(t *testing.T) {
 	if res.Waves < 2 || res.PagesMoved == 0 || res.HtoDFloats == 0 {
 		t.Errorf("accounting: %+v", res)
 	}
+	if res.Deferred == 0 {
+		t.Error("5 requests over 2x2 waves must defer at least one")
+	}
 }
 
 func TestRunFunctionalRejectsBigModels(t *testing.T) {

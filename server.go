@@ -1,0 +1,178 @@
+package moelightning
+
+import (
+	"context"
+	"fmt"
+
+	"moelightning/internal/engine"
+	"moelightning/internal/memory"
+)
+
+// Streaming-server types, re-exported from the engine. They are
+// aliases, so values flow freely between the facade and any code that
+// works with the engine package.
+type (
+	// Token is one streamed generation event: the token's position in
+	// its request's output and the generated token id.
+	Token = engine.Token
+	// Handle follows one submitted request: Tokens() streams tokens as
+	// decode steps complete, Wait() blocks for the final output, Done()
+	// signals completion.
+	Handle = engine.Handle
+	// ServerStats snapshots serving metrics: TTFT, TPOT,
+	// tokens-per-second, wave and deferral counts, data movement.
+	ServerStats = engine.ServerStats
+)
+
+// Serving errors.
+var (
+	// ErrCanceled is a canceled request's terminal error; the handle
+	// still returns the tokens generated before cancellation took
+	// effect.
+	ErrCanceled = engine.ErrCanceled
+	// ErrServerClosed reports a Submit against a closed server.
+	ErrServerClosed = engine.ErrServerClosed
+)
+
+// ServerConfig parameterizes a long-lived functional serving instance.
+// The zero value plus a Model is usable: sizes default like
+// FunctionalOptions (2x2 waves, 8 tokens, 128 context).
+type ServerConfig struct {
+	// Model is the MoE architecture to serve. Like RunFunctional, the
+	// server executes real float32 math, so only tiny configs (TinyMoE)
+	// are supported.
+	Model ModelConfig
+	// Seed makes the synthetic weights deterministic.
+	Seed int64
+	// MicroBatchSize and NumMicroBatches shape each serving wave
+	// (Alg. 2 batching); defaults 2 and 2.
+	MicroBatchSize  int
+	NumMicroBatches int
+	// GenLen is the wave generation length; default 8. Unless
+	// FixedGenLen is set, a request whose own GenLen is shorter stops
+	// early and frees its KV slot for the next wave.
+	GenLen int
+	// MaxContext bounds any sequence; default 128.
+	MaxContext int
+	// Lookahead is the pipeline's CPU-attention lookahead (Alg. 1's
+	// default of 2 when zero).
+	Lookahead int
+	// CacheTokens is the per-micro-batch KV budget in tokens; default
+	// MicroBatchSize * MaxContext.
+	CacheTokens int
+	// Vocab sizes the synthetic prompts derived from request IDs;
+	// default the model's vocabulary.
+	Vocab int
+	// FixedGenLen makes every request generate exactly GenLen tokens
+	// regardless of its own Request.GenLen — the classic closed-batch
+	// behavior RunFunctional preserves.
+	FixedGenLen bool
+}
+
+func (c *ServerConfig) defaults() {
+	if c.MicroBatchSize <= 0 {
+		c.MicroBatchSize = 2
+	}
+	if c.NumMicroBatches <= 0 {
+		c.NumMicroBatches = 2
+	}
+	if c.GenLen <= 0 {
+		c.GenLen = 8
+	}
+	if c.MaxContext <= 0 {
+		c.MaxContext = 128
+	}
+	if c.CacheTokens <= 0 {
+		c.CacheTokens = c.MicroBatchSize * c.MaxContext
+	}
+}
+
+// Server is the long-lived streaming inference API over the functional
+// CGOPipe engine. NewServer builds weights and memory arenas once;
+// Submit admits requests at any time and returns a Handle whose
+// Tokens() channel carries tokens as decode steps complete; an
+// admission loop re-runs the Alg. 2 batcher over (deferred + newly
+// arrived) requests at every wave boundary; Close drains and shuts
+// down.
+type Server struct {
+	cfg      ServerConfig
+	w        *engine.Weights
+	eng      *engine.Server
+	vocab    int // effective prompt vocabulary (Vocab or the model's)
+	cacheCap int
+}
+
+// NewServer validates the configuration, builds the weights and arenas,
+// and starts the serving loop.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	cfg.defaults()
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Model.TotalParams() > 50_000_000 {
+		return nil, fmt.Errorf("moelightning: %s has %d parameters; the functional engine is for tiny configs (use TinyMoE)",
+			cfg.Model.Name, cfg.Model.TotalParams())
+	}
+
+	vocab := cfg.Vocab
+	if vocab <= 0 {
+		vocab = cfg.Model.VocabSize
+	}
+	layerFloats := engine.NewLayout(cfg.Model).LayerFloats()
+	waveSeqs := cfg.MicroBatchSize * cfg.NumMicroBatches
+	cacheCap := 2*waveSeqs*cfg.MaxContext*cfg.Model.KVDim()*2 + 4<<20
+	cpu := memory.NewArena("cpu", cfg.Model.Layers*layerFloats+4<<20)
+	gpu := memory.NewArena("gpu", 2*layerFloats+4<<20)
+	pinned := memory.NewArena("pinned", 2*layerFloats+4<<20)
+	cacheArena := memory.NewArena("kvcache", cacheCap)
+
+	w, err := engine.NewRandomWeights(cpu, cfg.Model, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.NewServer(w, gpu, pinned, cacheArena, engine.ServeConfig{
+		NumMicroBatches:    cfg.NumMicroBatches,
+		MicroBatchSize:     cfg.MicroBatchSize,
+		GenLen:             cfg.GenLen,
+		CacheTokens:        cfg.CacheTokens,
+		MaxContext:         cfg.MaxContext,
+		Lookahead:          cfg.Lookahead,
+		Vocab:              vocab,
+		HonorRequestGenLen: !cfg.FixedGenLen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, w: w, eng: eng, vocab: vocab, cacheCap: cacheCap}, nil
+}
+
+// Submit admits one request. Canceling ctx cancels the request: queued,
+// it is dropped at the next wave boundary; mid-generation, its sequence
+// retires at the next decode-step boundary and its KV slot is freed,
+// without perturbing any other request's tokens. The handle then
+// finishes with ErrCanceled, returning the tokens streamed so far.
+func (s *Server) Submit(ctx context.Context, req Request) (*Handle, error) {
+	return s.eng.Submit(req, ctxDone(ctx))
+}
+
+// SubmitBatch admits a group of requests atomically: they reach the
+// same wave-boundary batching decision together, like a closed queue.
+// ctx cancels the whole group.
+func (s *Server) SubmitBatch(ctx context.Context, reqs []Request) ([]*Handle, error) {
+	return s.eng.SubmitBatch(reqs, ctxDone(ctx))
+}
+
+// Stats snapshots the server's serving metrics.
+func (s *Server) Stats() ServerStats { return s.eng.Stats() }
+
+// Close stops admission, serves every request already submitted, shuts
+// the engine down, and returns the first wave error if any occurred. It
+// blocks until the drain completes and is safe to call more than once.
+func (s *Server) Close() error { return s.eng.Close() }
+
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
