@@ -1,13 +1,16 @@
 package engine
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"strings"
 	"testing"
 
+	"moelightning/internal/kvcache"
 	"moelightning/internal/memory"
 	"moelightning/internal/model"
+	"moelightning/internal/workload"
 )
 
 // TestCacheExhaustionSurfacesError: a KV cache sized below the
@@ -126,5 +129,128 @@ func TestPipelineRandomShapesMatchReference(t *testing.T) {
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("trial %d (seqs=%d mu=%d la=%d gen=%d): diverged", trial, seqs, mu, lookahead, gen)
 		}
+	}
+}
+
+// exhaustionFixture builds the shared scenario for the cache-full
+// recovery tests: three sequences, a KV pool of exactly one block per
+// (sequence, layer) — all claimed by prefill — so the long sequence is
+// the only one to cross a block boundary mid-decode and finds the pool
+// empty. It fails at decode step 1 after emitting 2 tokens; the two
+// survivors never need another block within genLen steps.
+func exhaustionFixture(t *testing.T) (w *Weights, gpu, pinned, cacheArena *memory.Arena,
+	reqs []workload.Request, prompts [][]int, want [][]int) {
+	t.Helper()
+	cfg := model.Tiny()
+	cpu := memory.NewArena("cpu", 1<<22)
+	gpu = memory.NewArena("gpu", 1<<22)
+	pinned = memory.NewArena("pinned", 1<<22)
+	// ceil(3*MaxContext/16) = 3 blocks per layer, exactly.
+	blockFloats := 16 * cfg.KVDim() * 2
+	cacheArena = memory.NewArena("cache", 3*cfg.Layers*blockFloats)
+	w, err := NewRandomWeights(cpu, cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs = []workload.Request{
+		{ID: 0, PromptLen: 15}, {ID: 1, PromptLen: 10}, {ID: 2, PromptLen: 10},
+	}
+	prompts = PromptsFromRequests(reqs, cfg.VocabSize)
+	ref, err := NewReference(w, memory.NewArena("rc", 1<<22), 3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = ref.Generate(prompts, exhaustionGenLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, gpu, pinned, cacheArena, reqs, prompts, want
+}
+
+const exhaustionGenLen = 5
+
+// TestCacheExhaustionRetiresOnlyOffender: KV-pool exhaustion mid-decode
+// must fail only the offending sequence — retired through the same
+// step-boundary path a cancellation takes, its blocks returned to the
+// pool — while the wave completes and the survivors' tokens stay
+// bit-identical to the sequential reference.
+func TestCacheExhaustionRetiresOnlyOffender(t *testing.T) {
+	cfg := model.Tiny()
+	w, gpu, pinned, cacheArena, _, prompts, want := exhaustionFixture(t)
+	pl, err := NewPipeline(w, gpu, pinned, cacheArena, 3, Config{MicroBatch: 3, MaxContext: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+	got, err := pl.Generate(prompts, exhaustionGenLen)
+	if err != nil {
+		t.Fatalf("wave failed instead of retiring the offender: %v", err)
+	}
+	if serr := pl.SeqErr(0); !errors.Is(serr, kvcache.ErrOutOfBlocks) {
+		t.Fatalf("SeqErr(0) = %v, want ErrOutOfBlocks", serr)
+	}
+	for s := 1; s < 3; s++ {
+		if serr := pl.SeqErr(s); serr != nil {
+			t.Fatalf("survivor %d has error %v", s, serr)
+		}
+	}
+	// The offender keeps the tokens emitted before the failed step, and
+	// they match the reference prefix (everything up to the failure is
+	// the same computation).
+	if len(got[0]) != 2 || !reflect.DeepEqual(got[0], want[0][:2]) {
+		t.Fatalf("offender tokens = %v, want prefix %v", got[0], want[0][:2])
+	}
+	// Survivors are bit-identical to the reference for the full run.
+	for s := 1; s < 3; s++ {
+		if !reflect.DeepEqual(got[s], want[s]) {
+			t.Fatalf("survivor %d diverged: %v vs %v", s, got[s], want[s])
+		}
+	}
+	// The retirement returned the offender's blocks to the pool.
+	if pl.cache.FreeBlocks() != cfg.Layers {
+		t.Fatalf("free blocks = %d, want %d (offender's, one per layer)",
+			pl.cache.FreeBlocks(), cfg.Layers)
+	}
+}
+
+// TestServerFailsOnlyExhaustedRequest runs the same scenario through
+// the streaming server: the exhausted request's handle fails with the
+// out-of-blocks error, the survivors complete with reference-identical
+// tokens, and the wave itself (and Close) reports no error.
+func TestServerFailsOnlyExhaustedRequest(t *testing.T) {
+	w, gpu, pinned, cacheArena, reqs, _, want := exhaustionFixture(t)
+	srv, err := NewServer(w, gpu, pinned, cacheArena, ServeConfig{
+		NumMicroBatches: 1, MicroBatchSize: 3,
+		GenLen: exhaustionGenLen, CacheTokens: 100, MaxContext: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := srv.SubmitBatch(reqs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := srv.Close(); cerr != nil {
+		t.Fatalf("Close reported a wave error for a request-scoped failure: %v", cerr)
+	}
+	toks, herr := hs[0].Wait()
+	if !errors.Is(herr, kvcache.ErrOutOfBlocks) {
+		t.Fatalf("offender error = %v, want ErrOutOfBlocks", herr)
+	}
+	if !reflect.DeepEqual(toks, want[0][:len(toks)]) {
+		t.Fatalf("offender partial tokens %v diverge from reference prefix", toks)
+	}
+	for i := 1; i < 3; i++ {
+		toks, herr := hs[i].Wait()
+		if herr != nil {
+			t.Fatalf("survivor %d failed: %v", i, herr)
+		}
+		if !reflect.DeepEqual(toks, want[i]) {
+			t.Fatalf("survivor %d diverged: %v vs %v", i, toks, want[i])
+		}
+	}
+	st := srv.Stats()
+	if st.Completed != 2 || st.Failed != 1 {
+		t.Fatalf("stats completed=%d failed=%d, want 2/1", st.Completed, st.Failed)
 	}
 }

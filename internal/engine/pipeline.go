@@ -52,14 +52,22 @@ type Pipeline struct {
 	// Steady-state decode workspaces, allocated once at build time so
 	// lane tasks never allocate. The GPU lane serializes its tasks, so
 	// pre- and post-attention share one x staging buffer each across
-	// all micro-batches; the CPU lane owns one KV gather buffer, score
-	// scratch and attention item per micro-batch slot.
-	xPre, xPost      tensor.Mat
-	posBuf           []int
-	gatherK, gatherV []tensor.Mat
-	scores           [][]float32
-	attnItems        []tensor.AttnItem
-	maxContext       int
+	// all micro-batches; the CPU lane owns, per micro-batch slot,
+	// reusable block-view slices (zero-copy windows into the paged KV
+	// cache), score scratch and an attention item.
+	xPre, xPost    tensor.Mat
+	posBuf         []int
+	blockK, blockV [][]tensor.Mat
+	scores         [][]float32
+	attnItems      []tensor.AttnItem
+	maxContext     int
+
+	// seqErr records per-sequence failures (KV-pool exhaustion) hit
+	// mid-step; GenerateStream retires the offenders at the next step
+	// boundary instead of failing the wave. Written only by the CPU
+	// lane during a step, read by the generation goroutine after the
+	// step barrier.
+	seqErr []error
 
 	scratch    *ffnScratch
 	logits     []float32
@@ -190,15 +198,17 @@ func NewPipeline(w *Weights, gpu, pinned, cacheArena *memory.Arena, numSeqs int,
 	if p.maxContext < 1 {
 		p.maxContext = 1
 	}
-	p.gatherK = make([]tensor.Mat, maxMB)
-	p.gatherV = make([]tensor.Mat, maxMB)
+	maxBlocks := (p.maxContext+cache.BlockTokens()-1)/cache.BlockTokens() + 1
+	p.blockK = make([][]tensor.Mat, maxMB)
+	p.blockV = make([][]tensor.Mat, maxMB)
 	p.scores = make([][]float32, maxMB)
 	p.attnItems = make([]tensor.AttnItem, maxMB)
 	for i := 0; i < maxMB; i++ {
-		p.gatherK[i] = tensor.NewMat(p.maxContext, w.Cfg.KVDim())
-		p.gatherV[i] = tensor.NewMat(p.maxContext, w.Cfg.KVDim())
+		p.blockK[i] = make([]tensor.Mat, 0, maxBlocks)
+		p.blockV[i] = make([]tensor.Mat, 0, maxBlocks)
 		p.scores[i] = make([]float32, p.maxContext)
 	}
+	p.seqErr = make([]error, numSeqs)
 
 	q, kv := w.Cfg.QDim(), w.Cfg.KVDim()
 	for _, mb := range p.mbs {

@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
+	"moelightning/internal/kvcache"
 	"moelightning/internal/memory"
 	"moelightning/internal/tensor"
 )
@@ -100,6 +102,20 @@ func (p *Pipeline) GenerateStream(prompts [][]int, genLen int, sink StepSink, st
 		if err := p.decodeStep(t); err != nil {
 			return nil, err
 		}
+		// Retire sequences that hit KV-pool exhaustion during the step
+		// before their stale hidden state can emit a token: the failure
+		// is per-request (surfaced via SeqErr), the wave continues, and
+		// the retirement frees the offender's blocks for the survivors.
+		for s := range prompts {
+			if active[s] && p.seqErr[s] != nil {
+				p.retire(s)
+				active[s] = false
+				live--
+			}
+		}
+		if live == 0 {
+			break
+		}
 		for s := range prompts {
 			if active[s] {
 				logitsFor(p.w, p.hidden.Row(s), p.logits, p.normedHead)
@@ -108,6 +124,17 @@ func (p *Pipeline) GenerateStream(prompts [][]int, genLen int, sink StepSink, st
 		}
 	}
 	return out, nil
+}
+
+// SeqErr returns the terminal error of one sequence from the last
+// generation: nil for sequences that completed (or were stopped via
+// StopFunc), or the kvcache.ErrOutOfBlocks-wrapping error that retired
+// it mid-wave. Valid once Generate/GenerateStream has returned.
+func (p *Pipeline) SeqErr(s int) error {
+	if s < 0 || s >= len(p.seqErr) {
+		return nil
+	}
+	return p.seqErr[s]
 }
 
 // retire removes sequence s from its micro-batch and releases its KV
@@ -314,10 +341,17 @@ func (p *Pipeline) runPreAttn(v, j int, mb []int, positions []int) error {
 }
 
 // runCPUAttn appends the offloaded K/V to the cache and computes
-// attention for the micro-batch on the CPU worker. Appends mutate the
-// cache's bookkeeping maps and stay serial; the attention itself fans
-// out across the micro-batch's sequences on the shared worker pool
-// (each sequence is an independent problem over read-only cache state).
+// attention for the micro-batch on the CPU worker, reading the paged
+// cache in place: each sequence's context is a list of block views
+// (kvcache.BlockView) that the blockwise attention kernel walks
+// directly, with no gathered copy. Appends mutate the cache's
+// bookkeeping maps and stay serial; the attention itself fans out
+// across the micro-batch's sequences on the shared worker pool (each
+// sequence is an independent problem over read-only cache state).
+//
+// A sequence whose Append exhausts the block pool is marked in seqErr
+// and skipped for the rest of the step rather than failing the wave;
+// GenerateStream retires it at the step boundary.
 func (p *Pipeline) runCPUAttn(layer, j int, mb []int) error {
 	n := len(mb)
 	if n == 0 {
@@ -327,40 +361,38 @@ func (p *Pipeline) runCPUAttn(layer, j int, mb []int) error {
 	q, kv := cfg.QDim(), cfg.KVDim()
 	Q, K, V := qkvViews(p.qkvCPU[j].Data()[:n*(q+2*kv)], n, q, kv)
 	out := p.attnCPU[j].Data()
+	live := 0
 	for i, s := range mb {
+		if p.seqErr[s] != nil {
+			continue // failed earlier this step; retired at the boundary
+		}
 		if err := p.cache.Append(s, layer, K.Row(i), V.Row(i)); err != nil {
+			if errors.Is(err, kvcache.ErrOutOfBlocks) {
+				p.seqErr[s] = err
+				continue
+			}
 			return err
 		}
-	}
-	items := p.attnItems[:n]
-	for i, s := range mb {
-		ctx := p.cache.LayerLen(s, layer)
-		keys, values, scores := p.gatherBufs(i, ctx)
-		if _, err := p.cache.Gather(s, layer, keys, values); err != nil {
-			return err
+		keys, values, ctx := p.cache.BlockView(s, layer, p.blockK[i][:0], p.blockV[i][:0])
+		p.blockK[i], p.blockV[i] = keys, values
+		p.attnItems[live] = tensor.AttnItem{
+			Out: out[i*q : (i+1)*q], Q: Q.Row(i), Scores: p.scoresFor(i, ctx),
+			KeyBlocks: keys, ValueBlocks: values,
 		}
-		items[i] = tensor.AttnItem{
-			Out: out[i*q : (i+1)*q], Q: Q.Row(i), Scores: scores,
-			Keys: keys, Values: values,
-		}
+		live++
 	}
-	p.kern.attend(items, cfg.QHeads, cfg.KVHeads, cfg.HeadDim)
+	p.kern.attend(p.attnItems[:live], cfg.QHeads, cfg.KVHeads, cfg.HeadDim)
 	return nil
 }
 
-// gatherBufs returns micro-batch slot i's KV gather matrices and score
-// scratch sized to ctx tokens, growing the backing buffers in the rare
-// case a sequence outruns the configured MaxContext.
-func (p *Pipeline) gatherBufs(i, ctx int) (keys, values tensor.Mat, scores []float32) {
-	kv := p.w.Cfg.KVDim()
-	if ctx > p.gatherK[i].Rows {
-		p.gatherK[i] = tensor.NewMat(2*ctx, kv)
-		p.gatherV[i] = tensor.NewMat(2*ctx, kv)
+// scoresFor returns micro-batch slot i's score scratch sized to ctx
+// tokens, growing the backing buffer in the rare case a sequence
+// outruns the configured MaxContext.
+func (p *Pipeline) scoresFor(i, ctx int) []float32 {
+	if ctx > len(p.scores[i]) {
 		p.scores[i] = make([]float32, 2*ctx)
 	}
-	keys = tensor.FromSlice(ctx, kv, p.gatherK[i].Data[:ctx*kv])
-	values = tensor.FromSlice(ctx, kv, p.gatherV[i].Data[:ctx*kv])
-	return keys, values, p.scores[i][:ctx]
+	return p.scores[i][:ctx]
 }
 
 // runPostAttn executes O projection + MoE FFN for micro-batch j and
@@ -379,6 +411,13 @@ func (p *Pipeline) runPostAttn(layer, v, j int, mb []int) error {
 	}
 	chosen := p.kern.postAttn(p.layout, data, attn, x, p.scratch)
 	for i, s := range mb {
+		// A sequence that exhausted the KV pool earlier this step
+		// carries stale attention rows: don't let them touch the hidden
+		// state or the expert-load statistics (it is retired at the
+		// step boundary).
+		if p.seqErr[s] != nil {
+			continue
+		}
 		copy(p.hidden.Row(s), x.Row(i))
 		for _, e := range chosen[i] {
 			p.ExpertLoad[layer][e]++

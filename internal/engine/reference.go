@@ -21,13 +21,16 @@ type Reference struct {
 	ExpertLoad [][]int64
 
 	// Preallocated per-step workspaces (decode is token-at-a-time, so
-	// one of each suffices).
-	scratch      *ffnScratch
-	qkv          []float32
-	attnOut      tensor.Mat
-	keys, values tensor.Mat
-	logits       []float32
-	normedHead   []float32
+	// one of each suffices). keyBlocks/valBlocks are reusable zero-copy
+	// block-view slices over the paged cache; scores is the attention
+	// scratch.
+	scratch              *ffnScratch
+	qkv                  []float32
+	attnOut              tensor.Mat
+	keyBlocks, valBlocks []tensor.Mat
+	scores               []float32
+	logits               []float32
+	normedHead           []float32
 }
 
 // NewReference builds a reference engine with its own KV cache.
@@ -52,8 +55,7 @@ func NewReference(w *Weights, cacheArena *memory.Arena, numSeqs, maxContext int)
 		scratch:    newFFNScratch(w.Layout, 1),
 		qkv:        make([]float32, q+2*kv),
 		attnOut:    tensor.NewMat(1, q),
-		keys:       tensor.NewMat(maxContext, kv),
-		values:     tensor.NewMat(maxContext, kv),
+		scores:     make([]float32, maxContext),
 		logits:     make([]float32, w.Cfg.VocabSize),
 		normedHead: make([]float32, w.Cfg.Hidden),
 	}, nil
@@ -114,9 +116,8 @@ func (r *Reference) step(s, token int) error {
 
 	pos := r.cache.Len(s)
 	q, kv := cfg.QDim(), cfg.KVDim()
-	if pos+1 > r.keys.Rows {
-		r.keys = tensor.NewMat(2*(pos+1), kv)
-		r.values = tensor.NewMat(2*(pos+1), kv)
+	if pos+1 > len(r.scores) {
+		r.scores = make([]float32, 2*(pos+1))
 	}
 	xm := tensor.FromSlice(1, cfg.Hidden, x)
 	positions := [1]int{pos}
@@ -128,14 +129,10 @@ func (r *Reference) step(s, token int) error {
 		if err := r.cache.Append(s, l, K.Row(0), V.Row(0)); err != nil {
 			return err
 		}
-		ctx, err := r.cache.Gather(s, l, r.keys, r.values)
-		if err != nil {
-			return err
-		}
-		tensor.AttendOne(r.attnOut.Row(0), Q.Row(0),
-			tensor.Mat{Rows: ctx, Cols: kv, Data: r.keys.Data[:ctx*kv]},
-			tensor.Mat{Rows: ctx, Cols: kv, Data: r.values.Data[:ctx*kv]},
-			cfg.QHeads, cfg.KVHeads, cfg.HeadDim, nil)
+		keys, values, ctx := r.cache.BlockView(s, l, r.keyBlocks[:0], r.valBlocks[:0])
+		r.keyBlocks, r.valBlocks = keys, values
+		tensor.AttendOneBlocks(r.attnOut.Row(0), Q.Row(0), keys, values,
+			cfg.QHeads, cfg.KVHeads, cfg.HeadDim, r.scores[:ctx])
 		chosen := postAttention(layout, layer, r.attnOut, xm, r.scratch)
 		for _, e := range chosen[0] {
 			r.ExpertLoad[l][e]++

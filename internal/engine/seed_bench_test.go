@@ -160,11 +160,29 @@ func seedPostAttention(layout Layout, layer []float32, attnOut, x tensor.Mat, sc
 }
 
 // seedAttend runs the micro-batch's attention sequentially with
-// per-call score allocation, as the seed CPU lane did.
+// per-call allocation, as the seed CPU lane did: a paged context is
+// first gathered into freshly allocated staging matrices (the seed's
+// per-token copy, token by token) and attention reads the copy.
 func seedAttend(items []tensor.AttnItem, nq, nkv, headDim int) {
 	for i := range items {
 		it := &items[i]
-		tensor.AttendOne(it.Out, it.Q, it.Keys, it.Values, nq, nkv, headDim, nil)
+		keys, values := it.Keys, it.Values
+		if len(it.KeyBlocks) > 0 {
+			ctx := tensor.BlocksRows(it.KeyBlocks)
+			cols := it.KeyBlocks[0].Cols
+			keys = tensor.NewMat(ctx, cols)
+			values = tensor.NewMat(ctx, cols)
+			row := 0
+			for b, kb := range it.KeyBlocks {
+				vb := it.ValueBlocks[b]
+				for r := 0; r < kb.Rows; r++ {
+					copy(keys.Row(row), kb.Row(r))
+					copy(values.Row(row), vb.Row(r))
+					row++
+				}
+			}
+		}
+		tensor.AttendOne(it.Out, it.Q, keys, values, nq, nkv, headDim, nil)
 	}
 }
 

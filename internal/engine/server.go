@@ -513,9 +513,16 @@ func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([
 		return nil, nil
 	}
 	for i, h := range wave {
-		if len(tokens[i]) < h.genLen && h.canceled() {
+		switch {
+		case pl.SeqErr(i) != nil:
+			// Request-scoped failure: the sequence hit KV-pool
+			// exhaustion mid-decode and was retired (its blocks went
+			// back to the survivors), so only this request fails; the
+			// wave and its other requests are unaffected.
+			s.finalize(h, fmt.Errorf("engine: wave %d: request %d: %w", waveNum, h.req.ID, pl.SeqErr(i)))
+		case len(tokens[i]) < h.genLen && h.canceled():
 			s.finalize(h, ErrCanceled)
-		} else {
+		default:
 			s.finalize(h, nil)
 		}
 	}

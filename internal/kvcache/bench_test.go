@@ -1,0 +1,90 @@
+package kvcache
+
+import (
+	"testing"
+
+	"moelightning/internal/memory"
+	"moelightning/internal/tensor"
+)
+
+// The benchmarks below compare the two ways attention can read the
+// paged cache: Gather-then-attend (the fallback: two memmoves per
+// block into staging matrices, then the flat kernel) against the
+// zero-copy blockwise path (BlockView + AttendOneBlocks walking the
+// blocks in place). Same GQA problem, same context, same geometry as
+// one decode-step sequence.
+
+const (
+	benchCtx     = 512
+	benchNQ      = 8
+	benchNKV     = 2
+	benchHeadDim = 64
+	benchBlock   = 16
+)
+
+func benchCache(b *testing.B) (*Cache, []float32) {
+	b.Helper()
+	kvDim := benchNKV * benchHeadDim
+	arena := memory.NewArena("bench", 2*benchCtx*kvDim*2)
+	c, err := New(arena, 1, kvDim, benchBlock, benchCtx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := make([]float32, kvDim)
+	v := make([]float32, kvDim)
+	for pos := 0; pos < benchCtx; pos++ {
+		for i := range k {
+			k[i] = float32(pos+i) * 0.001
+			v[i] = float32(pos-i) * 0.001
+		}
+		if err := c.Append(0, 0, k, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := make([]float32, benchNQ*benchHeadDim)
+	for i := range q {
+		q[i] = float32(i%7) * 0.1
+	}
+	return c, q
+}
+
+// BenchmarkGather measures the fallback path: materialize the context
+// with Gather, then run the flat attention kernel over the copy.
+func BenchmarkGather(b *testing.B) {
+	c, q := benchCache(b)
+	kvDim := benchNKV * benchHeadDim
+	keys := tensor.NewMat(benchCtx, kvDim)
+	values := tensor.NewMat(benchCtx, kvDim)
+	out := make([]float32, benchNQ*benchHeadDim)
+	scores := make([]float32, benchCtx)
+	b.SetBytes(int64(2 * benchCtx * kvDim * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, err := c.Gather(0, 0, keys, values)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tensor.AttendOne(out, q,
+			tensor.FromSlice(ctx, kvDim, keys.Data[:ctx*kvDim]),
+			tensor.FromSlice(ctx, kvDim, values.Data[:ctx*kvDim]),
+			benchNQ, benchNKV, benchHeadDim, scores)
+	}
+}
+
+// BenchmarkBlockwiseAttend measures the zero-copy path: BlockView over
+// the cache blocks, attention walks them in place.
+func BenchmarkBlockwiseAttend(b *testing.B) {
+	c, q := benchCache(b)
+	kvDim := benchNKV * benchHeadDim
+	kb := make([]tensor.Mat, 0, benchCtx/benchBlock+1)
+	vb := make([]tensor.Mat, 0, benchCtx/benchBlock+1)
+	out := make([]float32, benchNQ*benchHeadDim)
+	scores := make([]float32, benchCtx)
+	b.SetBytes(int64(2 * benchCtx * kvDim * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ctx int
+		kb, vb, ctx = c.BlockView(0, 0, kb[:0], vb[:0])
+		tensor.AttendOneBlocks(out, q, kb, vb, benchNQ, benchNKV, benchHeadDim, scores[:ctx])
+	}
+}

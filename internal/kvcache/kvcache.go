@@ -2,18 +2,39 @@
 // A.1): per-sequence, per-layer block lists over a fixed pool of
 // fixed-size blocks, so memory is allocated in pages rather than
 // max-length slabs and capacity accounting is exact.
+//
+// Each block stores its tokens block-contiguously in two halves,
+// K-rows then V-rows ([blockTokens, kvDim] each), so a block's keys
+// (and values) form a dense row-major matrix over the block's region.
+// BlockView exposes a sequence-layer's context as []tensor.Mat views
+// over those halves — zero copies — which is how attention reads the
+// cache; Gather remains as a fallback that materializes the context
+// into caller matrices with two memmoves per block.
+//
+// Invariants: a (sequence, layer) stream's length only advances after
+// the token's block is secured and its K/V stored, so a failed Append
+// (pool exhaustion included) leaves the stream exactly as it was and
+// every length <= stored tokens. Each stream advances independently,
+// supporting both token-at-a-time decode and layer-at-a-time prefill.
 package kvcache
 
 import (
+	"errors"
 	"fmt"
 
 	"moelightning/internal/memory"
 	"moelightning/internal/tensor"
 )
 
+// ErrOutOfBlocks reports block-pool exhaustion on Append. The cache is
+// left consistent: the failed token is not recorded, so the sequence
+// can be retired (freeing its blocks for the survivors) or retried
+// after a Release.
+var ErrOutOfBlocks = errors.New("kvcache: out of blocks")
+
 // Cache is a paged KV cache for one model: Layers x sequences, each a
-// list of blocks of BlockTokens tokens, each token kvDim floats for K
-// and kvDim for V.
+// list of blocks of BlockTokens tokens, each block holding its K rows
+// then its V rows (blockTokens x kvDim floats per half).
 type Cache struct {
 	layers      int
 	kvDim       int
@@ -30,11 +51,15 @@ type seqLayer struct{ seq, layer int }
 // blockFloats is the size of one block in floats (K and V halves).
 func (c *Cache) blockFloats() int { return c.blockTokens * c.kvDim * 2 }
 
+// halfFloats is the size of one half (all K rows or all V rows).
+func (c *Cache) halfFloats() int { return c.blockTokens * c.kvDim }
+
 // New builds a cache drawing from the given arena, pre-allocating
 // capacityTokens worth of blocks per layer.
 func New(arena *memory.Arena, layers, kvDim, blockTokens, capacityTokens int) (*Cache, error) {
-	if layers <= 0 || kvDim <= 0 || blockTokens <= 0 {
-		return nil, fmt.Errorf("kvcache: invalid geometry layers=%d kvDim=%d block=%d", layers, kvDim, blockTokens)
+	if layers <= 0 || kvDim <= 0 || blockTokens <= 0 || capacityTokens <= 0 {
+		return nil, fmt.Errorf("kvcache: invalid geometry layers=%d kvDim=%d block=%d capacity=%d",
+			layers, kvDim, blockTokens, capacityTokens)
 	}
 	c := &Cache{
 		layers:      layers,
@@ -58,6 +83,9 @@ func New(arena *memory.Arena, layers, kvDim, blockTokens, capacityTokens int) (*
 // FreeBlocks returns the number of unallocated blocks.
 func (c *Cache) FreeBlocks() int { return len(c.pool) }
 
+// BlockTokens returns the tokens-per-block geometry.
+func (c *Cache) BlockTokens() int { return c.blockTokens }
+
 // Len returns the cached context length of a sequence (its layer-0
 // length; layers may transiently differ mid-step during pipelined
 // decode).
@@ -68,9 +96,9 @@ func (c *Cache) Len(seq int) int { return c.length[seqLayer{seq, 0}] }
 func (c *Cache) LayerLen(seq, layer int) int { return c.length[seqLayer{seq, layer}] }
 
 // Append stores one token's K and V (each kvDim floats) for a sequence
-// at a layer, at that layer's next position. Each (sequence, layer)
-// stream advances independently, which supports both token-at-a-time
-// decode and layer-at-a-time prefill.
+// at a layer, at that layer's next position. The stream's length is
+// committed only after the token's block is secured, so a failed
+// Append — ErrOutOfBlocks included — leaves the stream unchanged.
 func (c *Cache) Append(seq, layer int, k, v []float32) error {
 	if len(k) != c.kvDim || len(v) != c.kvDim {
 		return fmt.Errorf("kvcache: k/v dim %d/%d != %d", len(k), len(v), c.kvDim)
@@ -80,12 +108,11 @@ func (c *Cache) Append(seq, layer int, k, v []float32) error {
 	}
 	key := seqLayer{seq, layer}
 	pos := c.length[key]
-	c.length[key] = pos + 1
 	blocks := c.blocks[key]
 	bi := pos / c.blockTokens
 	if bi == len(blocks) {
 		if len(c.pool) == 0 {
-			return fmt.Errorf("kvcache: out of blocks (seq %d layer %d pos %d)", seq, layer, pos)
+			return fmt.Errorf("%w (seq %d layer %d pos %d)", ErrOutOfBlocks, seq, layer, pos)
 		}
 		blocks = append(blocks, c.pool[len(c.pool)-1])
 		c.pool = c.pool[:len(c.pool)-1]
@@ -94,16 +121,45 @@ func (c *Cache) Append(seq, layer int, k, v []float32) error {
 	if bi >= len(blocks) {
 		return fmt.Errorf("kvcache: non-contiguous append at pos %d (have %d blocks)", pos, len(blocks))
 	}
-	off := (pos % c.blockTokens) * c.kvDim * 2
+	off := (pos % c.blockTokens) * c.kvDim
 	data := blocks[bi].Data()
 	copy(data[off:off+c.kvDim], k)
-	copy(data[off+c.kvDim:off+2*c.kvDim], v)
+	half := c.halfFloats()
+	copy(data[half+off:half+off+c.kvDim], v)
+	c.length[key] = pos + 1
 	return nil
+}
+
+// BlockView exposes a sequence-layer's cached context in place: it
+// appends one tensor.Mat per block to keys and values (each a dense
+// [tokensInBlock, kvDim] view over the block's K or V half, the last
+// block possibly partial) and returns the slices plus the context
+// length. No data is copied; the views alias the cache's blocks and
+// stay valid until the sequence is released. Pass keys[:0]/values[:0]
+// of reusable slices for allocation-free steady state.
+func (c *Cache) BlockView(seq, layer int, keys, values []tensor.Mat) (k, v []tensor.Mat, ctx int) {
+	key := seqLayer{seq, layer}
+	n := c.length[key]
+	blocks := c.blocks[key]
+	half := c.halfFloats()
+	for bi := 0; bi*c.blockTokens < n; bi++ {
+		rows := n - bi*c.blockTokens
+		if rows > c.blockTokens {
+			rows = c.blockTokens
+		}
+		data := blocks[bi].Data()
+		keys = append(keys, tensor.FromSlice(rows, c.kvDim, data[:rows*c.kvDim]))
+		values = append(values, tensor.FromSlice(rows, c.kvDim, data[half:half+rows*c.kvDim]))
+	}
+	return keys, values, n
 }
 
 // Gather materializes the K and V matrices [ctx, kvDim] for a sequence
 // at a layer into the provided matrices (the caller preallocates at
-// least LayerLen(seq, layer) rows).
+// least LayerLen(seq, layer) rows). The block-contiguous layout makes
+// this two memmoves per block; it is the fallback for consumers that
+// need a flat context — the hot attention path reads the blocks in
+// place via BlockView.
 func (c *Cache) Gather(seq, layer int, keys, values tensor.Mat) (ctx int, err error) {
 	n := c.length[seqLayer{seq, layer}]
 	if keys.Rows < n || values.Rows < n || keys.Cols != c.kvDim || values.Cols != c.kvDim {
@@ -111,11 +167,16 @@ func (c *Cache) Gather(seq, layer int, keys, values tensor.Mat) (ctx int, err er
 			keys.Rows, keys.Cols, n, c.kvDim)
 	}
 	blocks := c.blocks[seqLayer{seq, layer}]
-	for pos := 0; pos < n; pos++ {
-		data := blocks[pos/c.blockTokens].Data()
-		off := (pos % c.blockTokens) * c.kvDim * 2
-		copy(keys.Row(pos), data[off:off+c.kvDim])
-		copy(values.Row(pos), data[off+c.kvDim:off+2*c.kvDim])
+	half := c.halfFloats()
+	for bi := 0; bi*c.blockTokens < n; bi++ {
+		lo := bi * c.blockTokens
+		rows := n - lo
+		if rows > c.blockTokens {
+			rows = c.blockTokens
+		}
+		data := blocks[bi].Data()
+		copy(keys.Data[lo*c.kvDim:(lo+rows)*c.kvDim], data[:rows*c.kvDim])
+		copy(values.Data[lo*c.kvDim:(lo+rows)*c.kvDim], data[half:half+rows*c.kvDim])
 	}
 	return n, nil
 }

@@ -1,6 +1,7 @@
 package kvcache
 
 import (
+	"errors"
 	"testing"
 
 	"moelightning/internal/memory"
@@ -164,5 +165,143 @@ func TestNewValidates(t *testing.T) {
 	tiny := memory.NewArena("tiny", 4)
 	if _, err := New(tiny, 1, 4, 4, 100); err == nil {
 		t.Error("arena too small for capacity")
+	}
+}
+
+func TestNewRejectsNonPositiveCapacity(t *testing.T) {
+	arena := memory.NewArena("a", 1000)
+	if _, err := New(arena, 1, 4, 4, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(arena, 1, 4, 4, -16); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+// TestAppendExhaustionLeavesLengthConsistent is the regression test for
+// the failure-path corruption: an Append that runs out of blocks must
+// not advance the stream's length (the seed incremented length before
+// the out-of-blocks check, so the cache claimed a token it never
+// stored and the next read indexed past the block list).
+func TestAppendExhaustionLeavesLengthConsistent(t *testing.T) {
+	const dim = 2
+	c := newCache(t, 1, dim, 2, 4) // 2 blocks of 2 tokens
+	// Two sequences of 2 tokens each drain the pool.
+	for s := 0; s < 2; s++ {
+		for pos := 0; pos < 2; pos++ {
+			if err := c.Append(s, 0, vec(dim, float32(10*s+pos)), vec(dim, float32(10*s+100+pos))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := c.Append(0, 0, vec(dim, 99), vec(dim, 99)); err == nil {
+		t.Fatal("want out-of-blocks error")
+	} else if !errors.Is(err, ErrOutOfBlocks) {
+		t.Fatalf("error is not ErrOutOfBlocks: %v", err)
+	}
+	if got := c.Len(0); got != 2 {
+		t.Fatalf("failed append advanced length to %d", got)
+	}
+	// Every read of the failed sequence must still see exactly the
+	// stored tokens — gathered and blockwise.
+	keys := tensor.NewMat(2, dim)
+	values := tensor.NewMat(2, dim)
+	if ctx, err := c.Gather(0, 0, keys, values); err != nil || ctx != 2 {
+		t.Fatalf("gather after failed append: ctx=%d err=%v", ctx, err)
+	}
+	// Freeing the other sequence lets the survivor grow again and
+	// round-trip its full contents.
+	c.Release(1)
+	if err := c.Append(0, 0, vec(dim, 2), vec(dim, 102)); err != nil {
+		t.Fatalf("append after release: %v", err)
+	}
+	kb, vb, ctx := c.BlockView(0, 0, nil, nil)
+	if ctx != 3 || len(kb) != 2 {
+		t.Fatalf("blockview: ctx=%d blocks=%d", ctx, len(kb))
+	}
+	row := 0
+	for b, k := range kb {
+		for r := 0; r < k.Rows; r++ {
+			if k.At(r, 0) != float32(row) || vb[b].At(r, 0) != float32(100+row) {
+				t.Fatalf("pos %d: k=%v v=%v", row, k.At(r, 0), vb[b].At(r, 0))
+			}
+			row++
+		}
+	}
+}
+
+// TestBlockViewMatchesGather checks the zero-copy views expose exactly
+// the gathered contents, including a partial last block, and that they
+// alias the cache (no copies).
+func TestBlockViewMatchesGather(t *testing.T) {
+	const layers, dim, block, n = 2, 3, 4, 11
+	c := newCache(t, layers, dim, block, 32)
+	for pos := 0; pos < n; pos++ {
+		for l := 0; l < layers; l++ {
+			if err := c.Append(0, l, vec(dim, float32(100*l+pos)), vec(dim, float32(1000*l+pos))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	keys := tensor.NewMat(n, dim)
+	values := tensor.NewMat(n, dim)
+	for l := 0; l < layers; l++ {
+		if _, err := c.Gather(0, l, keys, values); err != nil {
+			t.Fatal(err)
+		}
+		kb, vb, ctx := c.BlockView(0, l, nil, nil)
+		if ctx != n {
+			t.Fatalf("ctx = %d", ctx)
+		}
+		if want := (n + block - 1) / block; len(kb) != want || len(vb) != want {
+			t.Fatalf("blocks = %d/%d, want %d", len(kb), len(vb), want)
+		}
+		if last := kb[len(kb)-1]; last.Rows != n%block {
+			t.Fatalf("partial block rows = %d, want %d", last.Rows, n%block)
+		}
+		row := 0
+		for b := range kb {
+			for r := 0; r < kb[b].Rows; r++ {
+				for j := 0; j < dim; j++ {
+					if kb[b].At(r, j) != keys.At(row, j) {
+						t.Fatalf("layer %d pos %d key mismatch", l, row)
+					}
+					if vb[b].At(r, j) != values.At(row, j) {
+						t.Fatalf("layer %d pos %d value mismatch", l, row)
+					}
+				}
+				row++
+			}
+		}
+	}
+	// The views alias the cache: a mutation through the view is seen by
+	// the next Gather (proving no copy sits in between).
+	kb, _, _ := c.BlockView(0, 0, nil, nil)
+	kb[0].Set(0, 0, -42)
+	if _, err := c.Gather(0, 0, keys, values); err != nil {
+		t.Fatal(err)
+	}
+	if keys.At(0, 0) != -42 {
+		t.Fatal("BlockView returned a copy, not a view")
+	}
+}
+
+// TestBlockViewReusesCallerSlices checks the zero-alloc contract: with
+// capacity available, BlockView appends in place.
+func TestBlockViewReusesCallerSlices(t *testing.T) {
+	c := newCache(t, 1, 2, 2, 8)
+	for pos := 0; pos < 5; pos++ {
+		if err := c.Append(0, 0, vec(2, float32(pos)), vec(2, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kbuf := make([]tensor.Mat, 0, 8)
+	vbuf := make([]tensor.Mat, 0, 8)
+	kb, vb, ctx := c.BlockView(0, 0, kbuf, vbuf)
+	if ctx != 5 || len(kb) != 3 {
+		t.Fatalf("ctx=%d blocks=%d", ctx, len(kb))
+	}
+	if &kb[0] != &kbuf[:1][0] || &vb[0] != &vbuf[:1][0] {
+		t.Fatal("BlockView reallocated despite sufficient capacity")
 	}
 }

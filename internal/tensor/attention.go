@@ -6,7 +6,44 @@ import "math"
 //   - q is one token's query vector, nq heads x headDim;
 //   - keys/values are the cached context, one row per token, each row
 //     nkv heads x headDim;
-//   - GQA shares each KV head across nq/nkv query heads.
+//   - GQA shares each KV head across nq/nkv query heads;
+//   - the context may arrive flat (one Mat) or paged (a list of block
+//     Mats in token order). Both paths compute every score, the
+//     softmax and the weighted sum in the same k-ascending order, so
+//     the blockwise kernels are bit-identical to the flat ones.
+
+// attnScores computes scores[i] = <qh, keys.Row(i)[kv head slice]> *
+// scale for every row of keys. Two keys are kept in flight per
+// iteration: head dimensions are short, so a single dot product is
+// latency-bound on its accumulation chain. Each score's own
+// accumulation order is a single ascending chain either way.
+func attnScores(scores, qh []float32, keys Mat, kvh, headDim int, scale float32) {
+	ctx := keys.Rows
+	t := 0
+	for ; t+2 <= ctx; t += 2 {
+		k0 := keys.Row(t)[kvh*headDim : (kvh+1)*headDim]
+		k1 := keys.Row(t + 1)[kvh*headDim : (kvh+1)*headDim]
+		var s0, s1 float32
+		for i, qv := range qh {
+			s0 += qv * k0[i]
+			s1 += qv * k1[i]
+		}
+		scores[t], scores[t+1] = s0*scale, s1*scale
+	}
+	for ; t < ctx; t++ {
+		kRow := keys.Row(t)[kvh*headDim : (kvh+1)*headDim]
+		scores[t] = Dot(qh, kRow) * scale
+	}
+}
+
+// attnCombine accumulates oh += scores[i] * values.Row(i)[kv head
+// slice] over the rows of values, in ascending row order.
+func attnCombine(oh, scores []float32, values Mat, kvh, headDim int) {
+	for t := 0; t < values.Rows; t++ {
+		vRow := values.Row(t)[kvh*headDim : (kvh+1)*headDim]
+		Axpy(scores[t], vRow, oh)
+	}
+}
 
 // AttendOne computes single-token GQA attention: out = softmax(q K^T /
 // sqrt(d)) V over ctx cached tokens. keys and values are [ctx,
@@ -22,66 +59,127 @@ func AttendOne(out, q []float32, keys, values Mat, nq, nkv, headDim int, scores 
 	for h := 0; h < nq; h++ {
 		kvh := h / group
 		qh := q[h*headDim : (h+1)*headDim]
-		// Two keys in flight per iteration: head dimensions are short,
-		// so a single dot product is latency-bound on its accumulation
-		// chain. Each score's own accumulation order is unchanged.
-		t := 0
-		for ; t+2 <= ctx; t += 2 {
-			k0 := keys.Row(t)[kvh*headDim : (kvh+1)*headDim]
-			k1 := keys.Row(t + 1)[kvh*headDim : (kvh+1)*headDim]
-			var s0, s1 float32
-			for i, qv := range qh {
-				s0 += qv * k0[i]
-				s1 += qv * k1[i]
-			}
-			scores[t], scores[t+1] = s0*scale, s1*scale
+		attnScores(scores[:ctx], qh, keys, kvh, headDim, scale)
+		Softmax(scores[:ctx])
+		oh := out[h*headDim : (h+1)*headDim]
+		for i := range oh {
+			oh[i] = 0
 		}
-		for ; t < ctx; t++ {
-			kRow := keys.Row(t)[kvh*headDim : (kvh+1)*headDim]
-			scores[t] = Dot(qh, kRow) * scale
+		attnCombine(oh, scores[:ctx], values, kvh, headDim)
+	}
+}
+
+// BlocksRows returns the total row (token) count of a block list.
+func BlocksRows(blocks []Mat) int {
+	n := 0
+	for _, b := range blocks {
+		n += b.Rows
+	}
+	return n
+}
+
+// AttendOneBlocks is AttendOne over a paged context: keys[b] and
+// values[b] are the b-th block's rows, in token order (the last block
+// may be partial). It walks the block list in place — no gathered
+// copy — computing scores block by block into one contiguous buffer,
+// one softmax over the whole context, and the weighted sum in the
+// same ascending token order, so the output is bit-identical to
+// AttendOne over the gathered context. scores is scratch of length >=
+// the total context (allocated when nil).
+func AttendOneBlocks(out, q []float32, keys, values []Mat, nq, nkv, headDim int, scores []float32) {
+	ctx := BlocksRows(keys)
+	if scores == nil || len(scores) < ctx {
+		scores = make([]float32, ctx)
+	}
+	group := nq / nkv
+	scale := float32(1 / math.Sqrt(float64(headDim)))
+	for h := 0; h < nq; h++ {
+		kvh := h / group
+		qh := q[h*headDim : (h+1)*headDim]
+		base := 0
+		for _, kb := range keys {
+			attnScores(scores[base:base+kb.Rows], qh, kb, kvh, headDim, scale)
+			base += kb.Rows
 		}
 		Softmax(scores[:ctx])
 		oh := out[h*headDim : (h+1)*headDim]
 		for i := range oh {
 			oh[i] = 0
 		}
-		for t := 0; t < ctx; t++ {
-			vRow := values.Row(t)[kvh*headDim : (kvh+1)*headDim]
-			Axpy(scores[t], vRow, oh)
+		base = 0
+		for _, vb := range values {
+			attnCombine(oh, scores[base:base+vb.Rows], vb, kvh, headDim)
+			base += vb.Rows
 		}
 	}
 }
 
 // AttnItem is one independent single-token attention problem for
-// AttendMany: Out and Q are nq*headDim vectors, Keys/Values the cached
-// context, and Scores optional per-item scratch of length >= Keys.Rows
-// (allocated when nil, pass preallocated scratch for zero-alloc paths).
+// AttendMany. Out and Q are nq*headDim vectors; the context is either
+// flat (Keys/Values) or paged (KeyBlocks/ValueBlocks, which win when
+// non-empty — the zero-copy path over a paged KV cache). Scores is
+// optional per-item scratch of length >= the context (allocated when
+// nil, pass preallocated scratch for zero-alloc paths).
 type AttnItem struct {
-	Out, Q, Scores []float32
-	Keys, Values   Mat
+	Out, Q, Scores         []float32
+	Keys, Values           Mat
+	KeyBlocks, ValueBlocks []Mat
+}
+
+// attend solves one item, dispatching on its context representation.
+func (it *AttnItem) attend(nq, nkv, headDim int) {
+	if len(it.KeyBlocks) > 0 {
+		AttendOneBlocks(it.Out, it.Q, it.KeyBlocks, it.ValueBlocks, nq, nkv, headDim, it.Scores)
+		return
+	}
+	AttendOne(it.Out, it.Q, it.Keys, it.Values, nq, nkv, headDim, it.Scores)
 }
 
 // AttendMany computes a batch of independent single-token GQA attention
 // problems, fanned out across the default worker pool one item at a
 // time (items are coarse-grained: each is O(ctx * nq * headDim) work).
-// Bit-identical to calling AttendOne per item sequentially.
+// Bit-identical to solving each item sequentially, whether its context
+// is flat or paged.
 func AttendMany(items []AttnItem, nq, nkv, headDim int) {
 	Default().ParallelFor(len(items), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			it := &items[i]
-			AttendOne(it.Out, it.Q, it.Keys, it.Values, nq, nkv, headDim, it.Scores)
+			items[i].attend(nq, nkv, headDim)
 		}
 	})
 }
 
 // AttendCausal computes prefill attention for a whole prompt: queries
 // [n, nq*headDim] against keys/values [n, nkv*headDim] with a causal
-// mask; out is [n, nq*headDim].
+// mask; out is [n, nq*headDim]. Query tokens fan out across the
+// default worker pool, mirroring AttendMany: each token's problem is
+// independent (it reads the shared K/V prefix and writes only its own
+// output row), so the fan-out is bit-identical to the sequential loop.
+// Token t attends over t+1 keys, so equal-width token ranges would
+// leave the last worker ~2x the average work; chunk boundaries go at
+// n*sqrt(c/chunks) instead, which equalizes the triangular area.
 func AttendCausal(out, queries Mat, keys, values Mat, nq, nkv, headDim int) {
-	scores := make([]float32, keys.Rows)
-	for t := 0; t < queries.Rows; t++ {
-		sub := Mat{Rows: t + 1, Cols: keys.Cols, Data: keys.Data[:(t+1)*keys.Cols]}
-		subV := Mat{Rows: t + 1, Cols: values.Cols, Data: values.Data[:(t+1)*values.Cols]}
-		AttendOne(out.Row(t), queries.Row(t), sub, subV, nq, nkv, headDim, scores)
+	n := queries.Rows
+	pool := Default()
+	chunks := pool.Workers()
+	if chunks > n {
+		chunks = n
 	}
+	if chunks < 1 {
+		return
+	}
+	bounds := make([]int, chunks+1)
+	for c := 1; c < chunks; c++ {
+		bounds[c] = int(float64(n) * math.Sqrt(float64(c)/float64(chunks)))
+	}
+	bounds[chunks] = n
+	pool.ParallelFor(chunks, 1, func(lo, hi int) {
+		scores := make([]float32, bounds[hi])
+		for c := lo; c < hi; c++ {
+			for t := bounds[c]; t < bounds[c+1]; t++ {
+				sub := Mat{Rows: t + 1, Cols: keys.Cols, Data: keys.Data[:(t+1)*keys.Cols]}
+				subV := Mat{Rows: t + 1, Cols: values.Cols, Data: values.Data[:(t+1)*values.Cols]}
+				AttendOne(out.Row(t), queries.Row(t), sub, subV, nq, nkv, headDim, scores)
+			}
+		}
+	})
 }

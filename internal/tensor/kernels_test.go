@@ -355,3 +355,135 @@ func TestDefaultPoolSized(t *testing.T) {
 		t.Fatalf("default pool workers = %d, want GOMAXPROCS = %d", got, want)
 	}
 }
+
+// splitBlocks partitions a [ctx, cols] matrix into dense block copies
+// of the given token counts (the paged-KV shape BlockView produces).
+func splitBlocks(m Mat, sizes []int) []Mat {
+	var blocks []Mat
+	row := 0
+	for _, n := range sizes {
+		b := NewMat(n, m.Cols)
+		copy(b.Data, m.Data[row*m.Cols:(row+n)*m.Cols])
+		blocks = append(blocks, b)
+		row += n
+	}
+	return blocks
+}
+
+// randBlockSizes splits ctx into random positive chunks, exercising
+// full blocks, partial tails and single-token blocks.
+func randBlockSizes(rng *rand.Rand, ctx int) []int {
+	var sizes []int
+	for left := ctx; left > 0; {
+		n := 1 + rng.Intn(left)
+		sizes = append(sizes, n)
+		left -= n
+	}
+	return sizes
+}
+
+// TestAttendOneBlocksBitIdentical checks the blockwise kernel against
+// AttendOne over the flat context bit for bit, across random block
+// boundaries (including a single all-covering block and all-singleton
+// blocks).
+func TestAttendOneBlocksBitIdentical(t *testing.T) {
+	const nq, nkv, dh = 4, 2, 4
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 60; trial++ {
+		ctx := 1 + rng.Intn(40)
+		q := make([]float32, nq*dh)
+		for j := range q {
+			q[j] = rng.Float32() - 0.5
+		}
+		keys := randMat(rng, ctx, nkv*dh)
+		values := randMat(rng, ctx, nkv*dh)
+		want := make([]float32, nq*dh)
+		AttendOne(want, q, keys, values, nq, nkv, dh, nil)
+
+		var sizes []int
+		switch trial % 3 {
+		case 0:
+			sizes = randBlockSizes(rng, ctx)
+		case 1:
+			sizes = []int{ctx} // one covering block
+		default:
+			for i := 0; i < ctx; i++ { // every block a single token
+				sizes = append(sizes, 1)
+			}
+		}
+		kb := splitBlocks(keys, sizes)
+		vb := splitBlocks(values, sizes)
+		got := make([]float32, nq*dh)
+		AttendOneBlocks(got, q, kb, vb, nq, nkv, dh, make([]float32, ctx))
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("trial %d (ctx=%d blocks=%v): out[%d] = %v, want %v (must be bit-identical)",
+					trial, ctx, sizes, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestAttendManyMixedItemsBitIdentical drives AttendMany with a mix of
+// flat and paged items and checks both against sequential AttendOne.
+func TestAttendManyMixedItemsBitIdentical(t *testing.T) {
+	const nq, nkv, dh = 4, 2, 4
+	rng := rand.New(rand.NewSource(52))
+	items := make([]AttnItem, 10)
+	wants := make([][]float32, len(items))
+	for i := range items {
+		ctx := 1 + rng.Intn(20)
+		q := make([]float32, nq*dh)
+		for j := range q {
+			q[j] = rng.Float32() - 0.5
+		}
+		keys := randMat(rng, ctx, nkv*dh)
+		values := randMat(rng, ctx, nkv*dh)
+		want := make([]float32, nq*dh)
+		AttendOne(want, q, keys, values, nq, nkv, dh, nil)
+		wants[i] = want
+		it := AttnItem{Out: make([]float32, nq*dh), Q: q, Scores: make([]float32, ctx)}
+		if i%2 == 0 {
+			sizes := randBlockSizes(rng, ctx)
+			it.KeyBlocks = splitBlocks(keys, sizes)
+			it.ValueBlocks = splitBlocks(values, sizes)
+		} else {
+			it.Keys, it.Values = keys, values
+		}
+		items[i] = it
+	}
+	AttendMany(items, nq, nkv, dh)
+	for i, it := range items {
+		for j := range it.Out {
+			if it.Out[j] != wants[i][j] {
+				t.Fatalf("item %d out[%d] = %v, want %v", i, j, it.Out[j], wants[i][j])
+			}
+		}
+	}
+}
+
+// TestAttendCausalParallelBitIdentical checks the pool-fanned causal
+// prefill against the sequential per-token loop bit for bit.
+func TestAttendCausalParallelBitIdentical(t *testing.T) {
+	const nq, nkv, dh = 4, 2, 4
+	rng := rand.New(rand.NewSource(53))
+	for _, n := range []int{1, 2, 3, 7, 16, 33} {
+		queries := randMat(rng, n, nq*dh)
+		keys := randMat(rng, n, nkv*dh)
+		values := randMat(rng, n, nkv*dh)
+		want := NewMat(n, nq*dh)
+		scores := make([]float32, n)
+		for t2 := 0; t2 < n; t2++ {
+			sub := Mat{Rows: t2 + 1, Cols: keys.Cols, Data: keys.Data[:(t2+1)*keys.Cols]}
+			subV := Mat{Rows: t2 + 1, Cols: values.Cols, Data: values.Data[:(t2+1)*values.Cols]}
+			AttendOne(want.Row(t2), queries.Row(t2), sub, subV, nq, nkv, dh, scores)
+		}
+		got := NewMat(n, nq*dh)
+		AttendCausal(got, queries, keys, values, nq, nkv, dh)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("n=%d: AttendCausal[%d] = %v, want %v", n, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
