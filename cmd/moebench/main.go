@@ -28,7 +28,13 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id: fig1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,tab4,tab5,disk,quant,sparsity,latency,serve,all")
 	settings := flag.String("settings", "S1,S2,S6,S7", "comma-separated settings for fig7")
 	gens := flag.String("gens", "32,64,128,256", "comma-separated generation lengths")
+	kvdtype := flag.String("kvdtype", "f32", "KV cache codec for -exp serve: f32 or int8")
 	flag.Parse()
+
+	kvDtype, err := moelightning.ParseKVDtype(*kvdtype)
+	if err != nil {
+		fatal(err)
+	}
 
 	genLens, err := parseInts(*gens)
 	if err != nil {
@@ -80,6 +86,8 @@ func main() {
 		case "quant":
 			rows := experiments.Quantization()
 			fmt.Print(experiments.RenderQuantization(rows))
+			fmt.Println()
+			fmt.Print(experiments.RenderMeasuredQuantization(experiments.MeasuredQuantization()))
 		case "latency":
 			rows := experiments.LatencyRegime([]int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512})
 			fmt.Print(experiments.RenderLatencyRegime(rows))
@@ -90,7 +98,7 @@ func main() {
 			}
 			fmt.Print(experiments.RenderKVSparsity(rows))
 		case "serve":
-			return runServe()
+			return runServe(kvDtype)
 		case "tab4":
 			rows, err := experiments.Table4()
 			if err != nil {
@@ -131,12 +139,15 @@ func main() {
 // runServe demonstrates the streaming serving API on the tiny
 // functional engine: continuous admission, per-token streams,
 // mid-generation cancellation, and TTFT/TPOT serving metrics.
-func runServe() error {
+// -kvdtype int8 serves the same waves over the group-quantized paged
+// cache (~9/32 the KV footprint).
+func runServe(kvDtype moelightning.KVDtype) error {
 	const genLen = 8
 	srv, err := moelightning.NewServer(moelightning.ServerConfig{
-		Model:  moelightning.TinyMoE(),
-		Seed:   2024,
-		GenLen: genLen,
+		Model:   moelightning.TinyMoE(),
+		Seed:    2024,
+		GenLen:  genLen,
+		KVDtype: kvDtype,
 	})
 	if err != nil {
 		return err
@@ -175,8 +186,8 @@ func runServe() error {
 	}
 	fmt.Print(table.String())
 	st := srv.Stats()
-	fmt.Printf("waves %d, deferred %d, canceled %d; %d tokens at %.0f tok/s; TTFT %v, TPOT %v\n",
-		st.Waves, st.Deferred, st.Canceled, st.GeneratedTokens, st.TokensPerSecond, st.AvgTTFT, st.AvgTPOT)
+	fmt.Printf("kv %v: waves %d, deferred %d, canceled %d; %d tokens at %.0f tok/s; TTFT %v, TPOT %v\n",
+		kvDtype, st.Waves, st.Deferred, st.Canceled, st.GeneratedTokens, st.TokensPerSecond, st.AvgTTFT, st.AvgTPOT)
 	return nil
 }
 

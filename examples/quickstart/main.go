@@ -85,4 +85,42 @@ func main() {
 	st := srv.Stats()
 	fmt.Printf("\nserved %d requests in %d waves (%d deferred): %.0f tok/s, TTFT %v, TPOT %v\n",
 		st.Completed, st.Waves, st.Deferred, st.TokensPerSecond, st.AvgTTFT, st.AvgTPOT)
+
+	// The same server with the int8 group-quantized KV codec (§3.3):
+	// Append quantizes K/V rows on write, attention dequantizes them in
+	// place, and every cached token costs ~9/32 of its float32 bytes —
+	// so the same cache arena holds ~3.5x the context. Tokens may drift
+	// slightly from the f32 run (greedy argmax over quantized
+	// attention); the DtoH byte count shows the offload shrinking.
+	fmt.Println("\n== streaming server, int8-quantized KV cache ==")
+	qsrv, err := moelightning.NewServer(moelightning.ServerConfig{
+		Model:   moelightning.TinyMoE(),
+		Seed:    2024,
+		GenLen:  8,
+		KVDtype: moelightning.KVInt8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer qsrv.Close()
+	qh := make([]*moelightning.Handle, 0, 5)
+	for id := 1; id <= 5; id++ {
+		h, err := qsrv.Submit(context.Background(), moelightning.Request{
+			ID: id, PromptLen: 4 + 3*id, GenLen: 8,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		qh = append(qh, h)
+	}
+	for _, h := range qh {
+		fmt.Printf("request %d:", h.ID())
+		for tok := range h.Tokens() {
+			fmt.Printf(" %d", tok.ID)
+		}
+		fmt.Println()
+	}
+	qst := qsrv.Stats()
+	fmt.Printf("\nint8 KV: %d requests, %d waves, DtoH %d bytes (f32 run moved %d)\n",
+		qst.Completed, qst.Waves, qst.DtoHBytes, st.DtoHBytes)
 }

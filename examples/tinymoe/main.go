@@ -73,9 +73,9 @@ func main() {
 	}
 	fmt.Println("\npipeline output matches the sequential reference token-for-token")
 
-	fmt.Printf("\ndata movement (float32s): HtoD %d, DtoH %d, pinned staging %d, weight pages %d\n",
-		pipe.Counters.HtoDFloats.Load(), pipe.Counters.DtoHFloats.Load(),
-		pipe.Counters.PinFloats.Load(), pipe.Counters.PagesMoved.Load())
+	fmt.Printf("\ndata movement (bytes): HtoD %d, DtoH %d, pinned staging %d, weight pages %d\n",
+		pipe.Counters.HtoDBytes.Load(), pipe.Counters.DtoHBytes.Load(),
+		pipe.Counters.PinBytes.Load(), pipe.Counters.PagesMoved.Load())
 	fmt.Printf("kernels: %d GPU launches, %d CPU attention calls\n",
 		pipe.Counters.GPUKernels.Load(), pipe.Counters.CPUAttns.Load())
 

@@ -33,8 +33,13 @@ type FunctionalOptions struct {
 	// default the model's vocabulary.
 	Vocab int
 	// Verify re-runs every request on the sequential reference engine
-	// and errors out on any token mismatch.
+	// and errors out on any token mismatch. The reference reads a cache
+	// of the same KVDtype, so verification holds bit-exactly even with
+	// quantization on.
 	Verify bool
+	// KVDtype selects the KV cache codec: KVFloat32 (the zero value)
+	// or KVInt8 for the §3.3 group-quantized cache.
+	KVDtype KVDtype
 }
 
 func (o *FunctionalOptions) defaults() {
@@ -61,9 +66,9 @@ type FunctionalResult struct {
 	// Deferred counts requests pushed to a later wave at least once
 	// (Alg. 2's aborted list).
 	Deferred int
-	// HtoDFloats / DtoHFloats / PagesMoved account the data movement
-	// the pipeline performed (float32 units / page count).
-	HtoDFloats, DtoHFloats, PagesMoved int64
+	// HtoDBytes / DtoHBytes / PagesMoved account the data movement the
+	// pipeline performed (bytes / page count).
+	HtoDBytes, DtoHBytes, PagesMoved int64
 	// Verified is true when the reference cross-check ran and matched.
 	Verified bool
 }
@@ -90,6 +95,7 @@ func RunFunctional(cfg ModelConfig, requests []Request, opts FunctionalOptions) 
 		Lookahead:       opts.Lookahead,
 		Vocab:           opts.Vocab,
 		FixedGenLen:     true,
+		KVDtype:         opts.KVDtype,
 	})
 	if err != nil {
 		return FunctionalResult{}, err
@@ -114,15 +120,15 @@ func RunFunctional(cfg ModelConfig, requests []Request, opts FunctionalOptions) 
 	st := srv.Stats()
 	out.Waves = st.Waves
 	out.Deferred = st.Deferred
-	out.HtoDFloats = st.HtoDFloats
-	out.DtoHFloats = st.DtoHFloats
+	out.HtoDBytes = st.HtoDBytes
+	out.DtoHBytes = st.DtoHBytes
 	out.PagesMoved = st.PagesMoved
 
 	if opts.Verify {
 		// srv.vocab is the serving path's effective vocabulary, so the
 		// reference re-derives exactly the prompts the server used.
 		prompts := engine.PromptsFromRequests(requests, srv.vocab)
-		ref, err := engine.NewReference(srv.w, memory.NewArena("ref", srv.cacheCap), len(requests), opts.MaxContext)
+		ref, err := engine.NewReferenceKV(srv.w, memory.NewArena("ref", srv.cacheCap), len(requests), opts.MaxContext, opts.KVDtype)
 		if err != nil {
 			return out, err
 		}

@@ -145,14 +145,15 @@ func TestPipelineWeightTraffic(t *testing.T) {
 		t.Errorf("pages moved = %d, want %d", got, wantPages)
 	}
 	wantWeightFloats := (int64(cfg.Layers) + 1 + int64((gen-1)*cfg.Layers)) * layerFloats
-	// HtoD also carries the per-micro-batch attention outputs.
+	// HtoD also carries the per-micro-batch attention outputs. The
+	// counters report bytes (4 per float32 element moved).
 	hidden := int64(0)
 	for _, r := range pl.attnGPU {
 		hidden += int64(r.Len())
 	}
-	wantHtoD := wantWeightFloats + hidden*int64((gen-1)*cfg.Layers)
-	if got := pl.Counters.HtoDFloats.Load(); got != wantHtoD {
-		t.Errorf("HtoD floats = %d, want %d", got, wantHtoD)
+	wantHtoD := 4 * (wantWeightFloats + hidden*int64((gen-1)*cfg.Layers))
+	if got := pl.Counters.HtoDBytes.Load(); got != wantHtoD {
+		t.Errorf("HtoD bytes = %d, want %d", got, wantHtoD)
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
-	"strings"
 	"testing"
 
 	"moelightning/internal/kvcache"
@@ -14,8 +13,11 @@ import (
 )
 
 // TestCacheExhaustionSurfacesError: a KV cache sized below the
-// generation's needs must produce an error from Generate — never a hang
-// or silent corruption — even with five lanes in flight.
+// generation's needs must never hang or silently corrupt state — even
+// with five lanes in flight. Exhaustion is a per-sequence failure:
+// Generate completes the wave, and every starved sequence reports
+// ErrOutOfBlocks through SeqErr (whether it starved during prefill or
+// mid-decode).
 func TestCacheExhaustionSurfacesError(t *testing.T) {
 	cfg := model.Tiny()
 	cpu := memory.NewArena("cpu", 1<<22)
@@ -34,12 +36,20 @@ func TestCacheExhaustionSurfacesError(t *testing.T) {
 	}
 	defer pl.Close()
 	prompts := testPrompts(4, 7, 8, cfg.VocabSize)
-	_, err = pl.Generate(prompts, 30)
-	if err == nil {
-		t.Fatal("cache exhaustion went unnoticed")
+	if _, err := pl.Generate(prompts, 30); err != nil {
+		t.Fatalf("wave failed instead of retiring starved sequences: %v", err)
 	}
-	if !strings.Contains(err.Error(), "blocks") && !strings.Contains(err.Error(), "exhausted") {
-		t.Errorf("unexpected error: %v", err)
+	starved := 0
+	for s := 0; s < 4; s++ {
+		if serr := pl.SeqErr(s); serr != nil {
+			if !errors.Is(serr, kvcache.ErrOutOfBlocks) {
+				t.Fatalf("SeqErr(%d) = %v, want ErrOutOfBlocks", s, serr)
+			}
+			starved++
+		}
+	}
+	if starved == 0 {
+		t.Fatal("cache exhaustion went unnoticed: no sequence reports ErrOutOfBlocks")
 	}
 }
 
@@ -239,6 +249,121 @@ func TestServerFailsOnlyExhaustedRequest(t *testing.T) {
 	}
 	if !reflect.DeepEqual(toks, want[0][:len(toks)]) {
 		t.Fatalf("offender partial tokens %v diverge from reference prefix", toks)
+	}
+	for i := 1; i < 3; i++ {
+		toks, herr := hs[i].Wait()
+		if herr != nil {
+			t.Fatalf("survivor %d failed: %v", i, herr)
+		}
+		if !reflect.DeepEqual(toks, want[i]) {
+			t.Fatalf("survivor %d diverged: %v vs %v", i, toks, want[i])
+		}
+	}
+	st := srv.Stats()
+	if st.Completed != 2 || st.Failed != 1 {
+		t.Fatalf("stats completed=%d failed=%d, want 2/1", st.Completed, st.Failed)
+	}
+}
+
+// prefillExhaustionFixture builds the prompt-phase analogue of
+// exhaustionFixture: three sequences whose prompts claim 4 blocks per
+// layer (the long one spans two), over a pool of exactly 3 blocks per
+// layer. Layers 0-2 drain the pool, so the long sequence's first
+// Append of layer 3 — still inside prefill — finds it empty. Its
+// retirement releases 6 blocks, letting the two survivors finish
+// prefill and the whole decode phase untouched.
+func prefillExhaustionFixture(t *testing.T) (w *Weights, gpu, pinned, cacheArena *memory.Arena,
+	reqs []workload.Request, prompts [][]int, want [][]int) {
+	t.Helper()
+	cfg := model.Tiny()
+	cpu := memory.NewArena("cpu", 1<<22)
+	gpu = memory.NewArena("gpu", 1<<22)
+	pinned = memory.NewArena("pinned", 1<<22)
+	blockFloats := 16 * cfg.KVDim() * 2
+	cacheArena = memory.NewArena("cache", 3*cfg.Layers*blockFloats)
+	w, err := NewRandomWeights(cpu, cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs = []workload.Request{
+		{ID: 0, PromptLen: 17}, {ID: 1, PromptLen: 10}, {ID: 2, PromptLen: 10},
+	}
+	prompts = PromptsFromRequests(reqs, cfg.VocabSize)
+	ref, err := NewReference(w, memory.NewArena("rc", 1<<22), 3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = ref.Generate(prompts, exhaustionGenLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, gpu, pinned, cacheArena, reqs, prompts, want
+}
+
+// TestPrefillExhaustionRetiresOnlyOffender: KV-pool exhaustion during
+// prefill must not abort the wave. The offending sequence is retired
+// through the SeqErr/failed-handle path (emitting no tokens, its
+// blocks released to the pool) while the survivors complete prefill
+// and decode bit-identical to the sequential reference.
+func TestPrefillExhaustionRetiresOnlyOffender(t *testing.T) {
+	w, gpu, pinned, cacheArena, _, prompts, want := prefillExhaustionFixture(t)
+	pl, err := NewPipeline(w, gpu, pinned, cacheArena, 3, Config{MicroBatch: 3, MaxContext: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+	got, err := pl.Generate(prompts, exhaustionGenLen)
+	if err != nil {
+		t.Fatalf("prefill exhaustion failed the whole wave: %v", err)
+	}
+	if serr := pl.SeqErr(0); !errors.Is(serr, kvcache.ErrOutOfBlocks) {
+		t.Fatalf("SeqErr(0) = %v, want ErrOutOfBlocks", serr)
+	}
+	if len(got[0]) != 0 {
+		t.Fatalf("offender emitted %v despite failing in prefill", got[0])
+	}
+	for s := 1; s < 3; s++ {
+		if serr := pl.SeqErr(s); serr != nil {
+			t.Fatalf("survivor %d has error %v", s, serr)
+		}
+		if !reflect.DeepEqual(got[s], want[s]) {
+			t.Fatalf("survivor %d diverged: %v vs %v", s, got[s], want[s])
+		}
+	}
+	// 12-block pool, survivors hold 1 block x 4 layers each; the
+	// offender's blocks all went back.
+	if free := pl.cache.FreeBlocks(); free != 4 {
+		t.Fatalf("free blocks = %d, want 4 (offender's returned, survivors hold 8)", free)
+	}
+}
+
+// TestServerFailsOnlyPrefillExhaustedRequest runs the prefill-phase
+// scenario through the streaming server: the starved request's handle
+// fails with ErrOutOfBlocks and zero tokens, the survivors complete
+// with reference-identical tokens, and the wave itself (and Close)
+// reports no error.
+func TestServerFailsOnlyPrefillExhaustedRequest(t *testing.T) {
+	w, gpu, pinned, cacheArena, reqs, _, want := prefillExhaustionFixture(t)
+	srv, err := NewServer(w, gpu, pinned, cacheArena, ServeConfig{
+		NumMicroBatches: 1, MicroBatchSize: 3,
+		GenLen: exhaustionGenLen, CacheTokens: 100, MaxContext: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := srv.SubmitBatch(reqs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := srv.Close(); cerr != nil {
+		t.Fatalf("Close reported a wave error for a request-scoped prefill failure: %v", cerr)
+	}
+	toks, herr := hs[0].Wait()
+	if !errors.Is(herr, kvcache.ErrOutOfBlocks) {
+		t.Fatalf("offender error = %v, want ErrOutOfBlocks", herr)
+	}
+	if len(toks) != 0 {
+		t.Fatalf("offender streamed %v despite failing in prefill", toks)
 	}
 	for i := 1; i < 3; i++ {
 		toks, herr := hs[i].Wait()

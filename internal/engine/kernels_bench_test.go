@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"moelightning/internal/kvcache"
 	"moelightning/internal/memory"
 	"moelightning/internal/model"
 	"moelightning/internal/tensor"
@@ -72,7 +73,7 @@ func benchModel() model.Config {
 
 // benchDecodeStep times steady-state CGOPipe decode steps (prefill and
 // the LM head excluded) over a 64-sequence batch in two micro-batches.
-func benchDecodeStep(b *testing.B, seed bool) {
+func benchDecodeStep(b *testing.B, seed bool, dtype kvcache.DType) {
 	b.Helper()
 	cfg := benchModel()
 	const seqs, mu, steps, promptLen = 64, 32, 8, 4
@@ -94,7 +95,7 @@ func benchDecodeStep(b *testing.B, seed bool) {
 		pinned := memory.NewArena("pinned", 1<<22)
 		cacheArena := memory.NewArena("cache", 1<<22)
 		pl, err := NewPipeline(w, gpu, pinned, cacheArena, seqs,
-			Config{MicroBatch: mu, MaxContext: 64})
+			Config{MicroBatch: mu, MaxContext: 64, KVDtype: dtype})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -124,12 +125,20 @@ func benchDecodeStep(b *testing.B, seed bool) {
 // BenchmarkDecodeStep is the optimized engine: expert-grouped batched
 // GEMMs, pooled buffers, parallel kernels.
 func BenchmarkDecodeStep(b *testing.B) {
-	benchDecodeStep(b, false)
+	benchDecodeStep(b, false, kvcache.F32)
 }
 
 // BenchmarkDecodeStepSeedScalar swaps the seed scalar kernels into the
 // same pipeline; the ratio of the two ms/step metrics is the kernel
 // rewrite's speedup.
 func BenchmarkDecodeStepSeedScalar(b *testing.B) {
-	benchDecodeStep(b, true)
+	benchDecodeStep(b, true, kvcache.F32)
+}
+
+// BenchmarkDecodeStepQuantKV runs the same decode steps over an Int8
+// KV cache: Append quantizes, attention dequantizes rows in place.
+// Compare ms/step against BenchmarkDecodeStep for the codec's compute
+// cost — the win it buys is 2x+ context per cache byte, not speed.
+func BenchmarkDecodeStepQuantKV(b *testing.B) {
+	benchDecodeStep(b, false, kvcache.Int8)
 }

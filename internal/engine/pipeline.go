@@ -54,13 +54,17 @@ type Pipeline struct {
 	// pre- and post-attention share one x staging buffer each across
 	// all micro-batches; the CPU lane owns, per micro-batch slot,
 	// reusable block-view slices (zero-copy windows into the paged KV
-	// cache), score scratch and an attention item.
-	xPre, xPost    tensor.Mat
-	posBuf         []int
-	blockK, blockV [][]tensor.Mat
-	scores         [][]float32
-	attnItems      []tensor.AttnItem
-	maxContext     int
+	// cache — float32 Mats or, under an Int8 cache, quantized QBlocks
+	// plus a headDim dequant row), score scratch and an attention item.
+	xPre, xPost      tensor.Mat
+	posBuf           []int
+	blockK, blockV   [][]tensor.Mat
+	qblockK, qblockV [][]tensor.QBlock
+	qRow             [][]float32
+	qScoreGroup      int
+	scores           [][]float32
+	attnItems        []tensor.AttnItem
+	maxContext       int
 
 	// seqErr records per-sequence failures (KV-pool exhaustion) hit
 	// mid-step; GenerateStream retires the offenders at the next step
@@ -92,11 +96,17 @@ func defaultKernels() kernels {
 	return kernels{preAttn: preAttention, postAttn: postAttention, attend: tensor.AttendMany}
 }
 
-// Counters tallies data movement and kernel activity.
+// Counters tallies data movement and kernel activity. Movement is
+// counted in bytes, not elements, so the numbers stay truthful when KV
+// rows are int8+scale rather than float32.
 type Counters struct {
-	HtoDFloats, DtoHFloats, PinFloats atomic.Int64
-	PagesMoved, GPUKernels, CPUAttns  atomic.Int64
+	HtoDBytes, DtoHBytes, PinBytes   atomic.Int64
+	PagesMoved, GPUKernels, CPUAttns atomic.Int64
 }
+
+// floatBytes converts a float32 element count to bytes for the
+// movement counters.
+func floatBytes(n int) int64 { return int64(n) * 4 }
 
 // Config holds pipeline construction parameters.
 type Config struct {
@@ -112,6 +122,10 @@ type Config struct {
 	// set it overrides MicroBatch-based chunking. Every sequence index
 	// in [0, numSeqs) must appear exactly once.
 	Partition [][]int
+	// KVDtype selects the KV cache codec: kvcache.F32 (the zero value;
+	// bit-exact) or kvcache.Int8 (§3.3 group quantization — ~9/32 the
+	// cache footprint, attention dequantizes rows in place).
+	KVDtype kvcache.DType
 }
 
 // NewPipeline assembles the engine over explicit arenas. numSeqs is the
@@ -149,7 +163,7 @@ func NewPipeline(w *Weights, gpu, pinned, cacheArena *memory.Arena, numSeqs int,
 	if err != nil {
 		return nil, err
 	}
-	cache, err := kvcache.New(cacheArena, w.Cfg.Layers, w.Cfg.KVDim(), 16, numSeqs*cfg.MaxContext)
+	cache, err := kvcache.New(cacheArena, w.Cfg.Layers, w.Cfg.KVDim(), 16, numSeqs*cfg.MaxContext, cfg.KVDtype)
 	if err != nil {
 		return nil, err
 	}
@@ -198,15 +212,32 @@ func NewPipeline(w *Weights, gpu, pinned, cacheArena *memory.Arena, numSeqs int,
 	if p.maxContext < 1 {
 		p.maxContext = 1
 	}
+	// Per-slot CPU-attention scratch: one dtype's views are ever used,
+	// so only that dtype's slices are allocated. The quantized kernel
+	// scores a whole GQA group per dequantized row, so its score
+	// scratch carries one lane per query head of the group.
 	maxBlocks := (p.maxContext+cache.BlockTokens()-1)/cache.BlockTokens() + 1
-	p.blockK = make([][]tensor.Mat, maxMB)
-	p.blockV = make([][]tensor.Mat, maxMB)
 	p.scores = make([][]float32, maxMB)
 	p.attnItems = make([]tensor.AttnItem, maxMB)
-	for i := 0; i < maxMB; i++ {
-		p.blockK[i] = make([]tensor.Mat, 0, maxBlocks)
-		p.blockV[i] = make([]tensor.Mat, 0, maxBlocks)
-		p.scores[i] = make([]float32, p.maxContext)
+	if cfg.KVDtype == kvcache.Int8 {
+		p.qblockK = make([][]tensor.QBlock, maxMB)
+		p.qblockV = make([][]tensor.QBlock, maxMB)
+		p.qRow = make([][]float32, maxMB)
+		p.qScoreGroup = w.Cfg.QHeads / w.Cfg.KVHeads
+		for i := 0; i < maxMB; i++ {
+			p.qblockK[i] = make([]tensor.QBlock, 0, maxBlocks)
+			p.qblockV[i] = make([]tensor.QBlock, 0, maxBlocks)
+			p.qRow[i] = make([]float32, w.Cfg.HeadDim)
+			p.scores[i] = make([]float32, p.qScoreGroup*p.maxContext)
+		}
+	} else {
+		p.blockK = make([][]tensor.Mat, maxMB)
+		p.blockV = make([][]tensor.Mat, maxMB)
+		for i := 0; i < maxMB; i++ {
+			p.blockK[i] = make([]tensor.Mat, 0, maxBlocks)
+			p.blockV[i] = make([]tensor.Mat, 0, maxBlocks)
+			p.scores[i] = make([]float32, p.maxContext)
+		}
 	}
 	p.seqErr = make([]error, numSeqs)
 

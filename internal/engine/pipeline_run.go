@@ -54,11 +54,21 @@ func (p *Pipeline) GenerateStream(prompts [][]int, genLen int, sink StepSink, st
 	out := make([][]int, len(prompts))
 	next := make([]int, len(prompts))
 	active := make([]bool, len(prompts))
-	live := len(prompts)
+	live := 0
 	for s := range prompts {
+		// A sequence that exhausted the KV pool during prefill was
+		// already retired there (SeqErr reports it); it emits no tokens
+		// and the wave carries on with the survivors.
+		if p.seqErr[s] != nil {
+			continue
+		}
 		active[s] = true
+		live++
 		logitsFor(p.w, p.hidden.Row(s), p.logits, p.normedHead)
 		next[s] = tensor.ArgMax(p.logits)
+	}
+	if live == 0 {
+		return out, nil
 	}
 
 	// Preload layer 0 into GPU slot 0 before the first decode step.
@@ -129,7 +139,8 @@ func (p *Pipeline) GenerateStream(prompts [][]int, genLen int, sink StepSink, st
 // SeqErr returns the terminal error of one sequence from the last
 // generation: nil for sequences that completed (or were stopped via
 // StopFunc), or the kvcache.ErrOutOfBlocks-wrapping error that retired
-// it mid-wave. Valid once Generate/GenerateStream has returned.
+// it mid-wave — during prefill (it emits no tokens) or mid-decode.
+// Valid once Generate/GenerateStream has returned.
 func (p *Pipeline) SeqErr(s int) error {
 	if s < 0 || s >= len(p.seqErr) {
 		return nil
@@ -140,8 +151,11 @@ func (p *Pipeline) SeqErr(s int) error {
 // retire removes sequence s from its micro-batch and releases its KV
 // blocks back to the cache pool. The micro-batch count — and with it the
 // task-graph shape and per-step weight-page traffic — is unchanged; an
-// emptied micro-batch simply computes nothing. Only called between
-// decode steps, when no lane task is in flight.
+// emptied micro-batch simply computes nothing. Called from two places,
+// both with no lane task in flight: between decode steps (cancellation
+// and mid-decode exhaustion) and from the single-threaded prefill when
+// an Append exhausts the pool — mutating p.mbs is only safe under that
+// condition.
 func (p *Pipeline) retire(s int) {
 	for j, mb := range p.mbs {
 		for i, v := range mb {
@@ -203,7 +217,7 @@ func (p *Pipeline) decodeStep(step int) error {
 		})
 		qkv[g] = mk("qkv", l, j, func() error {
 			memory.Copy(p.qkvCPU[jj], p.qkvGPU[jj])
-			p.Counters.DtoHFloats.Add(int64(p.qkvGPU[jj].Len()))
+			p.Counters.DtoHBytes.Add(floatBytes(p.qkvGPU[jj].Len()))
 			return nil
 		})
 		cattn[g] = mk("cattn", l, j, func() error {
@@ -212,7 +226,7 @@ func (p *Pipeline) decodeStep(step int) error {
 		})
 		loadh[g] = mk("loadh", l, j, func() error {
 			memory.Copy(p.attnGPU[jj], p.attnCPU[jj])
-			p.Counters.HtoDFloats.Add(int64(p.attnGPU[jj].Len()))
+			p.Counters.HtoDBytes.Add(floatBytes(p.attnGPU[jj].Len()))
 			return nil
 		})
 		post[g] = mk("post", l, j, func() error {
@@ -373,11 +387,20 @@ func (p *Pipeline) runCPUAttn(layer, j int, mb []int) error {
 			}
 			return err
 		}
-		keys, values, ctx := p.cache.BlockView(s, layer, p.blockK[i][:0], p.blockV[i][:0])
-		p.blockK[i], p.blockV[i] = keys, values
-		p.attnItems[live] = tensor.AttnItem{
-			Out: out[i*q : (i+1)*q], Q: Q.Row(i), Scores: p.scoresFor(i, ctx),
-			KeyBlocks: keys, ValueBlocks: values,
+		if p.cache.DType() == kvcache.Int8 {
+			keys, values, ctx := p.cache.QBlockView(s, layer, p.qblockK[i][:0], p.qblockV[i][:0])
+			p.qblockK[i], p.qblockV[i] = keys, values
+			p.attnItems[live] = tensor.AttnItem{
+				Out: out[i*q : (i+1)*q], Q: Q.Row(i), Scores: p.scoresFor(i, p.qScoreGroup*ctx),
+				KeyQBlocks: keys, ValueQBlocks: values, RowScratch: p.qRow[i],
+			}
+		} else {
+			keys, values, ctx := p.cache.BlockView(s, layer, p.blockK[i][:0], p.blockV[i][:0])
+			p.blockK[i], p.blockV[i] = keys, values
+			p.attnItems[live] = tensor.AttnItem{
+				Out: out[i*q : (i+1)*q], Q: Q.Row(i), Scores: p.scoresFor(i, ctx),
+				KeyBlocks: keys, ValueBlocks: values,
+			}
 		}
 		live++
 	}
@@ -434,7 +457,7 @@ func (p *Pipeline) runPin(v, pg int) error {
 	src := p.w.Layers[layer].Slice(lo, hi)
 	dst := p.staging.PageRegion(v, pg)
 	memory.Copy(dst, src)
-	p.Counters.PinFloats.Add(int64(dst.Len()))
+	p.Counters.PinBytes.Add(floatBytes(dst.Len()))
 	return nil
 }
 
@@ -444,7 +467,7 @@ func (p *Pipeline) runPage(v, pg int) error {
 	src := p.staging.PageRegion(v, pg)
 	dst := p.db.PageRegion(v, pg)
 	memory.Copy(dst, src)
-	p.Counters.HtoDFloats.Add(int64(dst.Len()))
+	p.Counters.HtoDBytes.Add(floatBytes(dst.Len()))
 	return nil
 }
 
@@ -461,8 +484,8 @@ func (p *Pipeline) loadLayerSync(layer, v int) error {
 		lo, hi := table.PageBounds(pg)
 		memory.Copy(p.staging.PageRegion(v, pg), p.w.Layers[layer].Slice(lo, hi))
 		memory.Copy(p.db.PageRegion(v, pg), p.staging.PageRegion(v, pg))
-		p.Counters.PinFloats.Add(int64(hi - lo))
-		p.Counters.HtoDFloats.Add(int64(hi - lo))
+		p.Counters.PinBytes.Add(floatBytes(hi - lo))
+		p.Counters.HtoDBytes.Add(floatBytes(hi - lo))
 		p.Counters.PagesMoved.Add(1)
 	}
 	return nil

@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
+	"moelightning/internal/kvcache"
 	"moelightning/internal/tensor"
 )
 
@@ -14,6 +16,14 @@ import (
 // decode. The QKV buffer's block layout (all Qs, then Ks, then Vs)
 // means the causal attention kernel reads the projection output
 // directly, with no re-packing copies.
+//
+// A sequence whose Append exhausts the KV block pool is retired on the
+// spot — its error recorded in seqErr, its blocks released back to the
+// pool for the survivors — and skipped for the remaining layers, so
+// prefill-time exhaustion fails only the offending request, never the
+// wave. Sequences are independent within each layer (causal attention
+// reads only the sequence's own K/V), so a retirement leaves the
+// survivors' computation bit-identical.
 func (p *Pipeline) prefill(prompts [][]int) error {
 	cfg := p.w.Cfg
 	layout := p.layout
@@ -44,6 +54,13 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 		positions[t] = t
 	}
 	scratch := newFFNScratch(layout, maxLen)
+	quantized := p.cache.DType() == kvcache.Int8
+	var qKeys, qVals []tensor.QBlock
+	if quantized {
+		maxBlocks := (maxLen+p.cache.BlockTokens()-1)/p.cache.BlockTokens() + 1
+		qKeys = make([]tensor.QBlock, 0, maxBlocks)
+		qVals = make([]tensor.QBlock, 0, maxBlocks)
+	}
 
 	for s, prompt := range prompts {
 		for t, tok := range prompt {
@@ -57,24 +74,48 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 		}
 		layer := p.db.Slot(l).Data()
 		for s, prompt := range prompts {
+			if p.seqErr[s] != nil {
+				continue // exhausted at an earlier layer; already retired
+			}
 			n := len(prompt)
 			rows := tensor.FromSlice(n, cfg.Hidden, x.Data[rowOf[s]*cfg.Hidden:(rowOf[s]+n)*cfg.Hidden])
 			qkv := qkvBuf[:n*(q+2*kv)]
 			p.kern.preAttn(layout, layer, rows, positions[:n], qkv, scratch)
 			queries, keys, values := qkvViews(qkv, n, q, kv)
+			arows := tensor.FromSlice(n, q, attnOut.Data[:n*q])
 
-			// Offload K/V to the CPU cache (prefill KV offloading, §4).
+			// Offload K/V to the CPU cache (prefill KV offloading, §4);
+			// the cache quantizes on write under an Int8 codec, and the
+			// movement counter accounts the bytes the offload actually
+			// ships.
 			for t := 0; t < n; t++ {
 				if err := p.cache.Append(s, l, keys.Row(t), values.Row(t)); err != nil {
+					if errors.Is(err, kvcache.ErrOutOfBlocks) {
+						p.seqErr[s] = err
+						p.retire(s)
+						break
+					}
 					return err
 				}
-				p.Counters.DtoHFloats.Add(int64(2 * kv))
+				p.Counters.DtoHBytes.Add(int64(p.cache.TokenBytes()))
+			}
+			if p.seqErr[s] != nil {
+				continue
 			}
 
-			// Causal attention over the prompt (GPU-side in the real
-			// system; the K/V just computed are still in registers/HBM).
-			arows := tensor.FromSlice(n, q, attnOut.Data[:n*q])
-			tensor.AttendCausal(arows, queries, keys, values, cfg.QHeads, cfg.KVHeads, cfg.HeadDim)
+			// Causal attention over the prompt, fanned across the worker
+			// pool either way. Under F32 the flat kernel reads the K/V
+			// just computed (still in registers/HBM on a real GPU); under
+			// Int8 each token attends over its quantized prefix through
+			// the same dequant-aware kernel as decode (and the
+			// reference), so pipeline-vs-reference bit-identity holds
+			// with the codec enabled.
+			if quantized {
+				qKeys, qVals, _ = p.cache.QBlockView(s, l, qKeys[:0], qVals[:0])
+				tensor.AttendCausalQ(arows, queries, qKeys, qVals, cfg.QHeads, cfg.KVHeads, cfg.HeadDim)
+			} else {
+				tensor.AttendCausal(arows, queries, keys, values, cfg.QHeads, cfg.KVHeads, cfg.HeadDim)
+			}
 			chosen := p.kern.postAttn(layout, layer, arows, rows, scratch)
 			for _, experts := range chosen {
 				for _, e := range experts {
@@ -85,8 +126,12 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 		}
 	}
 
-	// Last-token hidden states seed decode.
+	// Last-token hidden states seed decode (retired sequences never
+	// reach decode, so their stale rows are harmless).
 	for s, prompt := range prompts {
+		if p.seqErr[s] != nil {
+			continue
+		}
 		copy(p.hidden.Row(s), x.Row(rowOf[s]+len(prompt)-1))
 	}
 	return nil

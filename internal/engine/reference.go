@@ -21,21 +21,33 @@ type Reference struct {
 	ExpertLoad [][]int64
 
 	// Preallocated per-step workspaces (decode is token-at-a-time, so
-	// one of each suffices). keyBlocks/valBlocks are reusable zero-copy
+	// one of each suffices). keyBlocks/valBlocks (or their quantized
+	// counterparts plus the headDim dequant row) are reusable zero-copy
 	// block-view slices over the paged cache; scores is the attention
 	// scratch.
-	scratch              *ffnScratch
-	qkv                  []float32
-	attnOut              tensor.Mat
-	keyBlocks, valBlocks []tensor.Mat
-	scores               []float32
-	logits               []float32
-	normedHead           []float32
+	scratch                *ffnScratch
+	qkv                    []float32
+	attnOut                tensor.Mat
+	keyBlocks, valBlocks   []tensor.Mat
+	qkeyBlocks, qvalBlocks []tensor.QBlock
+	qRow                   []float32
+	scores                 []float32
+	logits                 []float32
+	normedHead             []float32
 }
 
-// NewReference builds a reference engine with its own KV cache.
+// NewReference builds a reference engine with its own float32 KV
+// cache.
 func NewReference(w *Weights, cacheArena *memory.Arena, numSeqs, maxContext int) (*Reference, error) {
-	cache, err := kvcache.New(cacheArena, w.Cfg.Layers, w.Cfg.KVDim(), 16, numSeqs*maxContext)
+	return NewReferenceKV(w, cacheArena, numSeqs, maxContext, kvcache.F32)
+}
+
+// NewReferenceKV is NewReference with an explicit KV cache codec. A
+// quantized reference reads the cache through the same dequant-aware
+// kernel as the pipeline, so pipeline-vs-reference comparisons stay
+// bit-identical even with quantization on.
+func NewReferenceKV(w *Weights, cacheArena *memory.Arena, numSeqs, maxContext int, dtype kvcache.DType) (*Reference, error) {
+	cache, err := kvcache.New(cacheArena, w.Cfg.Layers, w.Cfg.KVDim(), 16, numSeqs*maxContext, dtype)
 	if err != nil {
 		return nil, err
 	}
@@ -47,7 +59,7 @@ func NewReference(w *Weights, cacheArena *memory.Arena, numSeqs, maxContext int)
 		maxContext = 1
 	}
 	q, kv := w.Cfg.QDim(), w.Cfg.KVDim()
-	return &Reference{
+	r := &Reference{
 		w:          w,
 		cache:      cache,
 		hidden:     tensor.NewMat(numSeqs, w.Cfg.Hidden),
@@ -58,7 +70,11 @@ func NewReference(w *Weights, cacheArena *memory.Arena, numSeqs, maxContext int)
 		scores:     make([]float32, maxContext),
 		logits:     make([]float32, w.Cfg.VocabSize),
 		normedHead: make([]float32, w.Cfg.Hidden),
-	}, nil
+	}
+	if dtype == kvcache.Int8 {
+		r.qRow = make([]float32, w.Cfg.HeadDim)
+	}
+	return r, nil
 }
 
 // Generate runs prefill over the prompts and then greedy decode for
@@ -129,10 +145,21 @@ func (r *Reference) step(s, token int) error {
 		if err := r.cache.Append(s, l, K.Row(0), V.Row(0)); err != nil {
 			return err
 		}
-		keys, values, ctx := r.cache.BlockView(s, l, r.keyBlocks[:0], r.valBlocks[:0])
-		r.keyBlocks, r.valBlocks = keys, values
-		tensor.AttendOneBlocks(r.attnOut.Row(0), Q.Row(0), keys, values,
-			cfg.QHeads, cfg.KVHeads, cfg.HeadDim, r.scores[:ctx])
+		if r.cache.DType() == kvcache.Int8 {
+			keys, values, ctx := r.cache.QBlockView(s, l, r.qkeyBlocks[:0], r.qvalBlocks[:0])
+			r.qkeyBlocks, r.qvalBlocks = keys, values
+			need := ctx * cfg.QHeads / cfg.KVHeads // one score lane per query head of a GQA group
+			if need > len(r.scores) {
+				r.scores = make([]float32, 2*need)
+			}
+			tensor.AttendOneBlocksQ(r.attnOut.Row(0), Q.Row(0), keys, values,
+				cfg.QHeads, cfg.KVHeads, cfg.HeadDim, r.scores[:need], r.qRow)
+		} else {
+			keys, values, ctx := r.cache.BlockView(s, l, r.keyBlocks[:0], r.valBlocks[:0])
+			r.keyBlocks, r.valBlocks = keys, values
+			tensor.AttendOneBlocks(r.attnOut.Row(0), Q.Row(0), keys, values,
+				cfg.QHeads, cfg.KVHeads, cfg.HeadDim, r.scores[:ctx])
+		}
 		chosen := postAttention(layout, layer, r.attnOut, xm, r.scratch)
 		for _, e := range chosen[0] {
 			r.ExpertLoad[l][e]++

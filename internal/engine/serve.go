@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"moelightning/internal/kvcache"
 	"moelightning/internal/memory"
 	"moelightning/internal/workload"
 )
@@ -29,6 +30,11 @@ type ServeConfig struct {
 	// GenLen tokens — the classic closed-batch behavior Serve and
 	// RunFunctional keep.
 	HonorRequestGenLen bool
+	// KVDtype selects the KV cache codec every wave's pipeline uses:
+	// kvcache.F32 (the zero value; bit-exact) or kvcache.Int8 (§3.3
+	// group quantization — ~9/32 the cache footprint per token, so the
+	// same arena holds ~3.5x the context).
+	KVDtype kvcache.DType
 }
 
 // ServeResult is the outcome of serving a queue.
@@ -40,8 +46,8 @@ type ServeResult struct {
 	// Deferred counts requests that were pushed to a later wave at
 	// least once (Alg. 2's aborted list).
 	Deferred int
-	// Data-movement totals across all waves (float32 units / pages).
-	HtoDFloats, DtoHFloats, PagesMoved int64
+	// Data-movement totals across all waves (bytes / pages).
+	HtoDBytes, DtoHBytes, PagesMoved int64
 }
 
 // Serve drains a closed request queue through successive pipeline
@@ -73,8 +79,8 @@ func Serve(w *Weights, gpu, pinned, cacheArena *memory.Arena, queue []workload.R
 	st := srv.Stats()
 	res.Waves = st.Waves
 	res.Deferred = st.Deferred
-	res.HtoDFloats = st.HtoDFloats
-	res.DtoHFloats = st.DtoHFloats
+	res.HtoDBytes = st.HtoDBytes
+	res.DtoHBytes = st.DtoHBytes
 	res.PagesMoved = st.PagesMoved
 	return res, closeErr
 }

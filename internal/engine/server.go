@@ -164,8 +164,8 @@ type ServerStats struct {
 	AvgTTFT, AvgTPOT time.Duration
 	// TokensPerSecond is generation throughput over busy (in-wave) time.
 	TokensPerSecond float64
-	// Data-movement totals across all waves (float32 units / pages).
-	HtoDFloats, DtoHFloats, PagesMoved int64
+	// Data-movement totals across all waves (bytes / pages).
+	HtoDBytes, DtoHBytes, PagesMoved int64
 }
 
 // Server is the long-lived serving engine: weights and arenas are built
@@ -307,7 +307,7 @@ func (s *Server) Stats() ServerStats {
 		Canceled: a.canceled, Failed: a.failed,
 		Waves: a.waves, Deferred: a.deferred,
 		GeneratedTokens: a.tokens,
-		HtoDFloats:      a.htod, DtoHFloats: a.dtoh, PagesMoved: a.pages,
+		HtoDBytes:       a.htod, DtoHBytes: a.dtoh, PagesMoved: a.pages,
 	}
 	if a.ttftN > 0 {
 		st.AvgTTFT = a.ttftSum / time.Duration(a.ttftN)
@@ -487,6 +487,7 @@ func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([
 		MaxContext: s.cfg.MaxContext,
 		Lookahead:  s.cfg.Lookahead,
 		Partition:  partition,
+		KVDtype:    s.cfg.KVDtype,
 	})
 	if err != nil {
 		werr := fmt.Errorf("engine: wave %d: %w", waveNum, err)
@@ -501,8 +502,8 @@ func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([
 	}
 	tokens, gerr := pl.GenerateStream(prompts, s.cfg.GenLen, sink, stop)
 	s.mu.Lock()
-	s.stats.htod += pl.Counters.HtoDFloats.Load()
-	s.stats.dtoh += pl.Counters.DtoHFloats.Load()
+	s.stats.htod += pl.Counters.HtoDBytes.Load()
+	s.stats.dtoh += pl.Counters.DtoHBytes.Load()
 	s.stats.pages += pl.Counters.PagesMoved.Load()
 	s.mu.Unlock()
 	pl.Close()

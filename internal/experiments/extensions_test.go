@@ -170,3 +170,28 @@ func TestGenLengthTrend(t *testing.T) {
 		t.Errorf("MoE-Lightning(p) should keep rising under S1: %v", ml)
 	}
 }
+
+// TestMeasuredQuantization: the measured companion to the analytic
+// sweep actually runs both codecs on the functional engine; the int8
+// row must move fewer DtoH bytes and store tokens at under half the
+// float32 cost.
+func TestMeasuredQuantization(t *testing.T) {
+	rows := MeasuredQuantization()
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want f32 and int8", len(rows))
+	}
+	f32, int8 := rows[0], rows[1]
+	if f32.Err != nil || int8.Err != nil {
+		t.Fatalf("measured runs failed: %v / %v", f32.Err, int8.Err)
+	}
+	if int8.DtoHBytes >= f32.DtoHBytes {
+		t.Errorf("int8 moved %d DtoH bytes, f32 %d — offload did not shrink", int8.DtoHBytes, f32.DtoHBytes)
+	}
+	if 2*int8.CacheBytesPerToken > f32.CacheBytesPerToken {
+		t.Errorf("int8 stores %d B/token vs f32 %d — not under half", int8.CacheBytesPerToken, f32.CacheBytesPerToken)
+	}
+	out := RenderMeasuredQuantization(rows)
+	if !strings.Contains(out, "int8") || !strings.Contains(out, "Measured") {
+		t.Errorf("render: %q", out)
+	}
+}

@@ -3,13 +3,30 @@
 // fixed-size blocks, so memory is allocated in pages rather than
 // max-length slabs and capacity accounting is exact.
 //
-// Each block stores its tokens block-contiguously in two halves,
-// K-rows then V-rows ([blockTokens, kvDim] each), so a block's keys
-// (and values) form a dense row-major matrix over the block's region.
-// BlockView exposes a sequence-layer's context as []tensor.Mat views
-// over those halves — zero copies — which is how attention reads the
-// cache; Gather remains as a fallback that materializes the context
-// into caller matrices with two memmoves per block.
+// Each block stores its tokens block-contiguously in two halves, K
+// then V. The half layout depends on the cache's DType:
+//
+//   - F32 (default): [blockTokens, kvDim] float32 rows; BlockView
+//     exposes a sequence-layer's context as []tensor.Mat views over
+//     those halves — zero copies — which is how attention reads the
+//     cache.
+//   - Int8: the paper's §3.3 group-quantized codec. Each half holds a
+//     packed-code region ([blockTokens, ceil(kvDim/4)] float32 words,
+//     four int8 codes per word) followed by a scale region
+//     ([blockTokens, ceil(kvDim/32)] float32, one scale per 32-value
+//     group). Append quantizes on write; QBlockView exposes the
+//     context as []tensor.QBlock views that tensor.AttendOneBlocksQ
+//     walks in place, dequantizing one head-slice row at a time — the
+//     float32 context is never materialized. A token costs
+//     ceil(kvDim/4)+ceil(kvDim/32) floats per half instead of kvDim
+//     (9/32 of float32 when kvDim is a multiple of 32), so the same
+//     arena holds ~3.5x the context. Enable it when the KV cache, not
+//     compute, bounds batch size: decoded tokens drift from the f32
+//     run within the codec's ~0.4% per-group error, but a quantized
+//     pipeline stays bit-identical to a quantized reference.
+//
+// Gather remains as a fallback that materializes (for Int8:
+// dequantizes) the context into caller matrices.
 //
 // Invariants: a (sequence, layer) stream's length only advances after
 // the token's block is secured and its K/V stored, so a failed Append
@@ -32,13 +49,56 @@ import (
 // after a Release.
 var ErrOutOfBlocks = errors.New("kvcache: out of blocks")
 
+// DType selects the cache's storage codec.
+type DType int
+
+const (
+	// F32 stores rows as raw float32 (the default; bit-exact).
+	F32 DType = iota
+	// Int8 stores rows as int8 codes with one float32 scale per
+	// GroupSize values, quantized on Append.
+	Int8
+)
+
+// GroupSize is the Int8 codec's quantization group: one float32 scale
+// per 32 consecutive row values.
+const GroupSize = tensor.QGroupSize
+
+func (d DType) String() string {
+	switch d {
+	case F32:
+		return "f32"
+	case Int8:
+		return "int8"
+	}
+	return fmt.Sprintf("DType(%d)", int(d))
+}
+
+// ParseDType maps a knob string ("f32", "float32", "int8") to a DType.
+func ParseDType(s string) (DType, error) {
+	switch s {
+	case "", "f32", "float32":
+		return F32, nil
+	case "int8":
+		return Int8, nil
+	}
+	return F32, fmt.Errorf("kvcache: unknown KV dtype %q (want f32 or int8)", s)
+}
+
 // Cache is a paged KV cache for one model: Layers x sequences, each a
 // list of blocks of BlockTokens tokens, each block holding its K rows
-// then its V rows (blockTokens x kvDim floats per half).
+// then its V rows.
 type Cache struct {
 	layers      int
 	kvDim       int
 	blockTokens int
+	dtype       DType
+
+	// Int8 geometry: floats per row = packedCols codes words + groups
+	// scales; rowFloats is kvDim for F32.
+	packedCols int
+	groups     int
+	rowFloats  int
 
 	pool   []memory.Region // free blocks
 	arena  *memory.Arena
@@ -49,25 +109,39 @@ type Cache struct {
 type seqLayer struct{ seq, layer int }
 
 // blockFloats is the size of one block in floats (K and V halves).
-func (c *Cache) blockFloats() int { return c.blockTokens * c.kvDim * 2 }
+func (c *Cache) blockFloats() int { return c.blockTokens * c.rowFloats * 2 }
 
 // halfFloats is the size of one half (all K rows or all V rows).
-func (c *Cache) halfFloats() int { return c.blockTokens * c.kvDim }
+func (c *Cache) halfFloats() int { return c.blockTokens * c.rowFloats }
+
+// scalesOff is the offset of the scale region within an Int8 half.
+func (c *Cache) scalesOff() int { return c.blockTokens * c.packedCols }
 
 // New builds a cache drawing from the given arena, pre-allocating
-// capacityTokens worth of blocks per layer.
-func New(arena *memory.Arena, layers, kvDim, blockTokens, capacityTokens int) (*Cache, error) {
+// capacityTokens worth of blocks per layer, stored under the given
+// dtype's codec.
+func New(arena *memory.Arena, layers, kvDim, blockTokens, capacityTokens int, dtype DType) (*Cache, error) {
 	if layers <= 0 || kvDim <= 0 || blockTokens <= 0 || capacityTokens <= 0 {
 		return nil, fmt.Errorf("kvcache: invalid geometry layers=%d kvDim=%d block=%d capacity=%d",
 			layers, kvDim, blockTokens, capacityTokens)
+	}
+	if dtype != F32 && dtype != Int8 {
+		return nil, fmt.Errorf("kvcache: unsupported dtype %v", dtype)
 	}
 	c := &Cache{
 		layers:      layers,
 		kvDim:       kvDim,
 		blockTokens: blockTokens,
-		arena:       arena,
+		dtype:       dtype,
 		blocks:      make(map[seqLayer][]memory.Region),
 		length:      make(map[seqLayer]int),
+		arena:       arena,
+	}
+	c.rowFloats = kvDim
+	if dtype == Int8 {
+		c.packedCols = tensor.PackedCols(kvDim)
+		c.groups = tensor.QGroups(kvDim, GroupSize)
+		c.rowFloats = c.packedCols + c.groups
 	}
 	numBlocks := (capacityTokens + blockTokens - 1) / blockTokens * layers
 	for i := 0; i < numBlocks; i++ {
@@ -86,6 +160,24 @@ func (c *Cache) FreeBlocks() int { return len(c.pool) }
 // BlockTokens returns the tokens-per-block geometry.
 func (c *Cache) BlockTokens() int { return c.blockTokens }
 
+// DType returns the cache's storage codec.
+func (c *Cache) DType() DType { return c.dtype }
+
+// TokenBytes returns the stored payload of one token at one layer
+// (both halves) in bytes under a codec: 2*kvDim*4 for F32, 2*(kvDim
+// codes + 4 bytes per group scale) for Int8. This is what an offload
+// transfer of the token actually ships, and what movement counters
+// should account.
+func TokenBytes(kvDim int, dtype DType) int {
+	if dtype == Int8 {
+		return 2 * (kvDim + 4*tensor.QGroups(kvDim, GroupSize))
+	}
+	return 2 * kvDim * 4
+}
+
+// TokenBytes returns the cache's own per-token, per-layer payload.
+func (c *Cache) TokenBytes() int { return TokenBytes(c.kvDim, c.dtype) }
+
 // Len returns the cached context length of a sequence (its layer-0
 // length; layers may transiently differ mid-step during pipelined
 // decode).
@@ -96,9 +188,10 @@ func (c *Cache) Len(seq int) int { return c.length[seqLayer{seq, 0}] }
 func (c *Cache) LayerLen(seq, layer int) int { return c.length[seqLayer{seq, layer}] }
 
 // Append stores one token's K and V (each kvDim floats) for a sequence
-// at a layer, at that layer's next position. The stream's length is
-// committed only after the token's block is secured, so a failed
-// Append — ErrOutOfBlocks included — leaves the stream unchanged.
+// at a layer, at that layer's next position, quantizing on write when
+// the cache's dtype is Int8. The stream's length is committed only
+// after the token's block is secured, so a failed Append —
+// ErrOutOfBlocks included — leaves the stream unchanged.
 func (c *Cache) Append(seq, layer int, k, v []float32) error {
 	if len(k) != c.kvDim || len(v) != c.kvDim {
 		return fmt.Errorf("kvcache: k/v dim %d/%d != %d", len(k), len(v), c.kvDim)
@@ -121,23 +214,36 @@ func (c *Cache) Append(seq, layer int, k, v []float32) error {
 	if bi >= len(blocks) {
 		return fmt.Errorf("kvcache: non-contiguous append at pos %d (have %d blocks)", pos, len(blocks))
 	}
-	off := (pos % c.blockTokens) * c.kvDim
+	row := pos % c.blockTokens
 	data := blocks[bi].Data()
-	copy(data[off:off+c.kvDim], k)
 	half := c.halfFloats()
-	copy(data[half+off:half+off+c.kvDim], v)
+	if c.dtype == Int8 {
+		so := c.scalesOff()
+		tensor.QuantizeRow(data[row*c.packedCols:(row+1)*c.packedCols],
+			data[so+row*c.groups:so+(row+1)*c.groups], k, GroupSize)
+		tensor.QuantizeRow(data[half+row*c.packedCols:half+(row+1)*c.packedCols],
+			data[half+so+row*c.groups:half+so+(row+1)*c.groups], v, GroupSize)
+	} else {
+		off := row * c.kvDim
+		copy(data[off:off+c.kvDim], k)
+		copy(data[half+off:half+off+c.kvDim], v)
+	}
 	c.length[key] = pos + 1
 	return nil
 }
 
-// BlockView exposes a sequence-layer's cached context in place: it
-// appends one tensor.Mat per block to keys and values (each a dense
+// BlockView exposes an F32 sequence-layer's cached context in place:
+// it appends one tensor.Mat per block to keys and values (each a dense
 // [tokensInBlock, kvDim] view over the block's K or V half, the last
 // block possibly partial) and returns the slices plus the context
 // length. No data is copied; the views alias the cache's blocks and
 // stay valid until the sequence is released. Pass keys[:0]/values[:0]
-// of reusable slices for allocation-free steady state.
+// of reusable slices for allocation-free steady state. Panics on an
+// Int8 cache — its rows are codes, not floats; use QBlockView.
 func (c *Cache) BlockView(seq, layer int, keys, values []tensor.Mat) (k, v []tensor.Mat, ctx int) {
+	if c.dtype != F32 {
+		panic("kvcache: BlockView on a quantized cache (use QBlockView)")
+	}
 	key := seqLayer{seq, layer}
 	n := c.length[key]
 	blocks := c.blocks[key]
@@ -154,12 +260,48 @@ func (c *Cache) BlockView(seq, layer int, keys, values []tensor.Mat) (k, v []ten
 	return keys, values, n
 }
 
+// QBlockView is BlockView for an Int8 cache: it appends one
+// tensor.QBlock per block (views over the block's packed codes and
+// scales, the last block possibly partial) to keys and values and
+// returns the slices plus the context length. No data is copied and
+// nothing is dequantized — tensor.AttendOneBlocksQ walks the views in
+// place. Panics on an F32 cache.
+func (c *Cache) QBlockView(seq, layer int, keys, values []tensor.QBlock) (k, v []tensor.QBlock, ctx int) {
+	if c.dtype != Int8 {
+		panic("kvcache: QBlockView on an unquantized cache (use BlockView)")
+	}
+	key := seqLayer{seq, layer}
+	n := c.length[key]
+	blocks := c.blocks[key]
+	half := c.halfFloats()
+	so := c.scalesOff()
+	for bi := 0; bi*c.blockTokens < n; bi++ {
+		rows := n - bi*c.blockTokens
+		if rows > c.blockTokens {
+			rows = c.blockTokens
+		}
+		data := blocks[bi].Data()
+		keys = append(keys, tensor.QBlock{
+			Rows: rows, Cols: c.kvDim, Group: GroupSize,
+			Codes:  data[:rows*c.packedCols],
+			Scales: data[so : so+rows*c.groups],
+		})
+		values = append(values, tensor.QBlock{
+			Rows: rows, Cols: c.kvDim, Group: GroupSize,
+			Codes:  data[half : half+rows*c.packedCols],
+			Scales: data[half+so : half+so+rows*c.groups],
+		})
+	}
+	return keys, values, n
+}
+
 // Gather materializes the K and V matrices [ctx, kvDim] for a sequence
 // at a layer into the provided matrices (the caller preallocates at
-// least LayerLen(seq, layer) rows). The block-contiguous layout makes
-// this two memmoves per block; it is the fallback for consumers that
-// need a flat context — the hot attention path reads the blocks in
-// place via BlockView.
+// least LayerLen(seq, layer) rows), dequantizing when the cache is
+// Int8. The block-contiguous layout makes the F32 case two memmoves
+// per block; it is the fallback for consumers that need a flat float32
+// context — the hot attention path reads the blocks in place via
+// BlockView / QBlockView.
 func (c *Cache) Gather(seq, layer int, keys, values tensor.Mat) (ctx int, err error) {
 	n := c.length[seqLayer{seq, layer}]
 	if keys.Rows < n || values.Rows < n || keys.Cols != c.kvDim || values.Cols != c.kvDim {
@@ -168,6 +310,7 @@ func (c *Cache) Gather(seq, layer int, keys, values tensor.Mat) (ctx int, err er
 	}
 	blocks := c.blocks[seqLayer{seq, layer}]
 	half := c.halfFloats()
+	so := c.scalesOff()
 	for bi := 0; bi*c.blockTokens < n; bi++ {
 		lo := bi * c.blockTokens
 		rows := n - lo
@@ -175,6 +318,17 @@ func (c *Cache) Gather(seq, layer int, keys, values tensor.Mat) (ctx int, err er
 			rows = c.blockTokens
 		}
 		data := blocks[bi].Data()
+		if c.dtype == Int8 {
+			for t := 0; t < rows; t++ {
+				tensor.DequantizeRow(keys.Row(lo+t),
+					data[t*c.packedCols:(t+1)*c.packedCols],
+					data[so+t*c.groups:so+(t+1)*c.groups], c.kvDim, GroupSize)
+				tensor.DequantizeRow(values.Row(lo+t),
+					data[half+t*c.packedCols:half+(t+1)*c.packedCols],
+					data[half+so+t*c.groups:half+so+(t+1)*c.groups], c.kvDim, GroupSize)
+			}
+			continue
+		}
 		copy(keys.Data[lo*c.kvDim:(lo+rows)*c.kvDim], data[:rows*c.kvDim])
 		copy(values.Data[lo*c.kvDim:(lo+rows)*c.kvDim], data[half:half+rows*c.kvDim])
 	}

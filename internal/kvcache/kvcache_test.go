@@ -11,7 +11,7 @@ import (
 func newCache(t *testing.T, layers, kvDim, block, capTokens int) *Cache {
 	t.Helper()
 	arena := memory.NewArena("cache", 1<<20)
-	c, err := New(arena, layers, kvDim, block, capTokens)
+	c, err := New(arena, layers, kvDim, block, capTokens, F32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,24 +156,24 @@ func TestErrors(t *testing.T) {
 
 func TestNewValidates(t *testing.T) {
 	arena := memory.NewArena("a", 1000)
-	if _, err := New(arena, 0, 4, 4, 8); err == nil {
+	if _, err := New(arena, 0, 4, 4, 8, F32); err == nil {
 		t.Error("zero layers")
 	}
-	if _, err := New(arena, 1, 0, 4, 8); err == nil {
+	if _, err := New(arena, 1, 0, 4, 8, F32); err == nil {
 		t.Error("zero dim")
 	}
 	tiny := memory.NewArena("tiny", 4)
-	if _, err := New(tiny, 1, 4, 4, 100); err == nil {
+	if _, err := New(tiny, 1, 4, 4, 100, F32); err == nil {
 		t.Error("arena too small for capacity")
 	}
 }
 
 func TestNewRejectsNonPositiveCapacity(t *testing.T) {
 	arena := memory.NewArena("a", 1000)
-	if _, err := New(arena, 1, 4, 4, 0); err == nil {
+	if _, err := New(arena, 1, 4, 4, 0, F32); err == nil {
 		t.Error("zero capacity accepted")
 	}
-	if _, err := New(arena, 1, 4, 4, -16); err == nil {
+	if _, err := New(arena, 1, 4, 4, -16, F32); err == nil {
 		t.Error("negative capacity accepted")
 	}
 }

@@ -115,19 +115,30 @@ func AttendOneBlocks(out, q []float32, keys, values []Mat, nq, nkv, headDim int,
 }
 
 // AttnItem is one independent single-token attention problem for
-// AttendMany. Out and Q are nq*headDim vectors; the context is either
-// flat (Keys/Values) or paged (KeyBlocks/ValueBlocks, which win when
-// non-empty — the zero-copy path over a paged KV cache). Scores is
-// optional per-item scratch of length >= the context (allocated when
-// nil, pass preallocated scratch for zero-alloc paths).
+// AttendMany. Out and Q are nq*headDim vectors; the context is flat
+// (Keys/Values), paged (KeyBlocks/ValueBlocks — the zero-copy path
+// over a paged KV cache) or paged and int8-quantized (KeyQBlocks/
+// ValueQBlocks, which win over both — attention dequantizes rows on
+// the fly). Scores is optional per-item scratch: length >= the context
+// for the flat and paged paths, >= (nq/nkv)*ctx for the quantized path
+// (one score lane per query head of a GQA group). RowScratch is
+// optional headDim scratch for the quantized path. Each is allocated
+// when nil or undersized; pass adequately sized scratch for zero-alloc
+// steady state.
 type AttnItem struct {
-	Out, Q, Scores         []float32
-	Keys, Values           Mat
-	KeyBlocks, ValueBlocks []Mat
+	Out, Q, Scores           []float32
+	Keys, Values             Mat
+	KeyBlocks, ValueBlocks   []Mat
+	KeyQBlocks, ValueQBlocks []QBlock
+	RowScratch               []float32
 }
 
 // attend solves one item, dispatching on its context representation.
 func (it *AttnItem) attend(nq, nkv, headDim int) {
+	if len(it.KeyQBlocks) > 0 {
+		AttendOneBlocksQ(it.Out, it.Q, it.KeyQBlocks, it.ValueQBlocks, nq, nkv, headDim, it.Scores, it.RowScratch)
+		return
+	}
 	if len(it.KeyBlocks) > 0 {
 		AttendOneBlocks(it.Out, it.Q, it.KeyBlocks, it.ValueBlocks, nq, nkv, headDim, it.Scores)
 		return
@@ -148,30 +159,43 @@ func AttendMany(items []AttnItem, nq, nkv, headDim int) {
 	})
 }
 
-// AttendCausal computes prefill attention for a whole prompt: queries
-// [n, nq*headDim] against keys/values [n, nkv*headDim] with a causal
-// mask; out is [n, nq*headDim]. Query tokens fan out across the
-// default worker pool, mirroring AttendMany: each token's problem is
-// independent (it reads the shared K/V prefix and writes only its own
-// output row), so the fan-out is bit-identical to the sequential loop.
-// Token t attends over t+1 keys, so equal-width token ranges would
-// leave the last worker ~2x the average work; chunk boundaries go at
-// n*sqrt(c/chunks) instead, which equalizes the triangular area.
-func AttendCausal(out, queries Mat, keys, values Mat, nq, nkv, headDim int) {
-	n := queries.Rows
-	pool := Default()
-	chunks := pool.Workers()
+// causalBounds splits n causal query tokens into chunk boundaries for
+// a worker fan-out. Token t attends over t+1 keys, so equal-width
+// token ranges would leave the last worker ~2x the average work;
+// boundaries go at n*sqrt(c/chunks) instead, which equalizes the
+// triangular area. Shared by AttendCausal and AttendCausalQ so the two
+// kernels' load balancing cannot drift apart. Returns nil when there
+// is nothing to do.
+func causalBounds(n, chunks int) []int {
 	if chunks > n {
 		chunks = n
 	}
 	if chunks < 1 {
-		return
+		return nil
 	}
 	bounds := make([]int, chunks+1)
 	for c := 1; c < chunks; c++ {
 		bounds[c] = int(float64(n) * math.Sqrt(float64(c)/float64(chunks)))
 	}
 	bounds[chunks] = n
+	return bounds
+}
+
+// AttendCausal computes prefill attention for a whole prompt: queries
+// [n, nq*headDim] against keys/values [n, nkv*headDim] with a causal
+// mask; out is [n, nq*headDim]. Query tokens fan out across the
+// default worker pool in causalBounds chunks, mirroring AttendMany:
+// each token's problem is independent (it reads the shared K/V prefix
+// and writes only its own output row), so the fan-out is bit-identical
+// to the sequential loop.
+func AttendCausal(out, queries Mat, keys, values Mat, nq, nkv, headDim int) {
+	n := queries.Rows
+	pool := Default()
+	bounds := causalBounds(n, pool.Workers())
+	if bounds == nil {
+		return
+	}
+	chunks := len(bounds) - 1
 	pool.ParallelFor(chunks, 1, func(lo, hi int) {
 		scores := make([]float32, bounds[hi])
 		for c := lo; c < hi; c++ {

@@ -140,11 +140,47 @@ func TestRunFunctional(t *testing.T) {
 			t.Errorf("request %d generated %d tokens", id, len(toks))
 		}
 	}
-	if res.Waves < 2 || res.PagesMoved == 0 || res.HtoDFloats == 0 {
+	if res.Waves < 2 || res.PagesMoved == 0 || res.HtoDBytes == 0 {
 		t.Errorf("accounting: %+v", res)
 	}
 	if res.Deferred == 0 {
 		t.Error("5 requests over 2x2 waves must defer at least one")
+	}
+}
+
+// TestRunFunctionalInt8KV serves the same queue over the group-
+// quantized cache: Verify holds because the reference reads an Int8
+// cache too (pipeline-vs-reference bit-identity survives the codec),
+// and the DtoH byte count shrinks versus the f32 run — the prefill KV
+// offload ships int8 codes plus scales instead of raw floats.
+func TestRunFunctionalInt8KV(t *testing.T) {
+	reqs := []Request{
+		{ID: 1, PromptLen: 5, GenLen: 4},
+		{ID: 2, PromptLen: 8, GenLen: 4},
+		{ID: 3, PromptLen: 3, GenLen: 4},
+		{ID: 4, PromptLen: 6, GenLen: 4},
+	}
+	f32, err := RunFunctional(TinyMoE(), reqs, FunctionalOptions{Seed: 9, GenLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFunctional(TinyMoE(), reqs, FunctionalOptions{
+		Seed: 9, GenLen: 4, Verify: true, KVDtype: KVInt8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("quantized verification did not run")
+	}
+	for id, toks := range res.Outputs {
+		if len(toks) != 4 {
+			t.Errorf("request %d generated %d tokens", id, len(toks))
+		}
+	}
+	if res.DtoHBytes >= f32.DtoHBytes {
+		t.Errorf("int8 KV moved %d DtoH bytes, f32 moved %d — offload did not shrink",
+			res.DtoHBytes, f32.DtoHBytes)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"moelightning/internal/engine"
+	"moelightning/internal/kvcache"
 	"moelightning/internal/memory"
 )
 
@@ -22,7 +23,26 @@ type (
 	// ServerStats snapshots serving metrics: TTFT, TPOT,
 	// tokens-per-second, wave and deferral counts, data movement.
 	ServerStats = engine.ServerStats
+	// KVDtype selects the KV cache codec (KVFloat32 or KVInt8).
+	KVDtype = kvcache.DType
 )
+
+// KV cache codecs for ServerConfig.KVDtype.
+const (
+	// KVFloat32 stores KV rows as raw float32 — the default, bit-exact
+	// against every pre-quantization test vector.
+	KVFloat32 = kvcache.F32
+	// KVInt8 stores KV rows as int8 codes with one float32 scale per
+	// 32-value group (§3.3): ~9/32 the cache footprint per token, so
+	// the same cache arena holds ~3.5x the context. Attention
+	// dequantizes rows in place; decoded tokens can drift from a
+	// float32 run within the codec's quantization error.
+	KVInt8 = kvcache.Int8
+)
+
+// ParseKVDtype maps a knob string ("f32", "float32", "int8") to a
+// KVDtype, for CLI flags.
+func ParseKVDtype(s string) (KVDtype, error) { return kvcache.ParseDType(s) }
 
 // Serving errors.
 var (
@@ -67,6 +87,9 @@ type ServerConfig struct {
 	// regardless of its own Request.GenLen — the classic closed-batch
 	// behavior RunFunctional preserves.
 	FixedGenLen bool
+	// KVDtype selects the KV cache codec: KVFloat32 (the zero value)
+	// or KVInt8 for the §3.3 group-quantized cache.
+	KVDtype KVDtype
 }
 
 func (c *ServerConfig) defaults() {
@@ -139,6 +162,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Lookahead:          cfg.Lookahead,
 		Vocab:              vocab,
 		HonorRequestGenLen: !cfg.FixedGenLen,
+		KVDtype:            cfg.KVDtype,
 	})
 	if err != nil {
 		return nil, err
