@@ -186,8 +186,9 @@ func runServe(kvDtype moelightning.KVDtype) error {
 	}
 	fmt.Print(table.String())
 	st := srv.Stats()
-	fmt.Printf("kv %v: waves %d, deferred %d, canceled %d; %d tokens at %.0f tok/s; TTFT %v, TPOT %v\n",
-		kvDtype, st.Waves, st.Deferred, st.Canceled, st.GeneratedTokens, st.TokensPerSecond, st.AvgTTFT, st.AvgTPOT)
+	fmt.Printf("kv %v: waves %d, deferred %d, canceled %d; prefill %d tokens at %.0f tok/s; %d tokens at %.0f tok/s; TTFT %v, TPOT %v\n",
+		kvDtype, st.Waves, st.Deferred, st.Canceled, st.PrefillTokens, st.PrefillTokensPerSecond,
+		st.GeneratedTokens, st.TokensPerSecond, st.AvgTTFT, st.AvgTPOT)
 	return nil
 }
 

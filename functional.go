@@ -40,6 +40,9 @@ type FunctionalOptions struct {
 	// KVDtype selects the KV cache codec: KVFloat32 (the zero value)
 	// or KVInt8 for the §3.3 group-quantized cache.
 	KVDtype KVDtype
+	// PrefillChunk bounds the wave-packed prefill's per-layer packed
+	// batch in prompt tokens (<= 0 selects the engine default).
+	PrefillChunk int
 }
 
 func (o *FunctionalOptions) defaults() {
@@ -66,6 +69,11 @@ type FunctionalResult struct {
 	// Deferred counts requests pushed to a later wave at least once
 	// (Alg. 2's aborted list).
 	Deferred int
+	// PrefillTokens counts prompt tokens prefilled across all waves;
+	// PrefillTokensPerSecond is prompt-phase throughput over the time
+	// spent in the packed prefill pass.
+	PrefillTokens          int
+	PrefillTokensPerSecond float64
 	// HtoDBytes / DtoHBytes / PagesMoved account the data movement the
 	// pipeline performed (bytes / page count).
 	HtoDBytes, DtoHBytes, PagesMoved int64
@@ -96,6 +104,7 @@ func RunFunctional(cfg ModelConfig, requests []Request, opts FunctionalOptions) 
 		Vocab:           opts.Vocab,
 		FixedGenLen:     true,
 		KVDtype:         opts.KVDtype,
+		PrefillChunk:    opts.PrefillChunk,
 	})
 	if err != nil {
 		return FunctionalResult{}, err
@@ -120,6 +129,8 @@ func RunFunctional(cfg ModelConfig, requests []Request, opts FunctionalOptions) 
 	st := srv.Stats()
 	out.Waves = st.Waves
 	out.Deferred = st.Deferred
+	out.PrefillTokens = st.PrefillTokens
+	out.PrefillTokensPerSecond = st.PrefillTokensPerSecond
 	out.HtoDBytes = st.HtoDBytes
 	out.DtoHBytes = st.DtoHBytes
 	out.PagesMoved = st.PagesMoved

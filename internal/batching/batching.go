@@ -22,8 +22,30 @@ type Config struct {
 	// GenLen is the generation length each request will run.
 	GenLen int
 	// CacheTokens is the KV capacity per micro-batch in tokens
-	// (cache_size in Alg. 2).
+	// (cache_size in Alg. 2). Used when the byte-aware pair below is
+	// unset.
 	CacheTokens int
+	// TokenBytes and CacheBytes, when both set, switch the capacity
+	// check (Alg. 2 l.9) from tokens to bytes: every prompt or
+	// generated token costs TokenBytes of cache (the codec-dependent
+	// kvcache.TokenBytes payload), budgeted against CacheBytes per
+	// micro-batch. The same arena budget therefore admits ~32/9 the
+	// context under an int8 KV codec that it would under float32 —
+	// quantized waves batch bigger instead of just fitting longer.
+	TokenBytes int
+	CacheBytes int
+}
+
+// byteAware reports whether the capacity check runs in bytes.
+func (c Config) byteAware() bool { return c.TokenBytes > 0 && c.CacheBytes > 0 }
+
+// overBudget reports whether a micro-batch of the given final token
+// count (prompt + generation room) exceeds the KV budget.
+func (c Config) overBudget(tokens int) bool {
+	if c.byteAware() {
+		return tokens*c.TokenBytes > c.CacheBytes
+	}
+	return tokens > c.CacheTokens
 }
 
 // Validate reports malformed configs.
@@ -31,8 +53,14 @@ func (c Config) Validate() error {
 	if c.NumMicroBatches <= 0 || c.MicroBatchSize <= 0 {
 		return fmt.Errorf("batching: non-positive sizes n_ub=%d ubs=%d", c.NumMicroBatches, c.MicroBatchSize)
 	}
-	if c.GenLen < 0 || c.CacheTokens <= 0 {
-		return fmt.Errorf("batching: invalid genlen=%d cache=%d", c.GenLen, c.CacheTokens)
+	if c.GenLen < 0 {
+		return fmt.Errorf("batching: invalid genlen=%d", c.GenLen)
+	}
+	if (c.TokenBytes > 0) != (c.CacheBytes > 0) {
+		return fmt.Errorf("batching: TokenBytes=%d and CacheBytes=%d must be set together", c.TokenBytes, c.CacheBytes)
+	}
+	if !c.byteAware() && c.CacheTokens <= 0 {
+		return fmt.Errorf("batching: invalid cache=%d", c.CacheTokens)
 	}
 	return nil
 }
@@ -83,8 +111,10 @@ func Batch(queue []workload.Request, cfg Config) (batches []MicroBatch, aborted 
 			}
 		}
 		// Capacity check (l.9): prompt tokens so far + this prompt +
-		// generation room for every request including this one.
-		if sums[idx]+req.PromptLen+(1+len(parts[idx]))*cfg.GenLen > cfg.CacheTokens {
+		// generation room for every request including this one —
+		// counted in bytes at the codec's per-token rate when the
+		// byte-aware budget is set, in tokens otherwise.
+		if cfg.overBudget(sums[idx] + req.PromptLen + (1+len(parts[idx]))*cfg.GenLen) {
 			aborted = append(aborted, req) // l.10
 			continue
 		}

@@ -94,11 +94,55 @@ func TestValidate(t *testing.T) {
 		{NumMicroBatches: 1, MicroBatchSize: 0, CacheTokens: 1},
 		{NumMicroBatches: 1, MicroBatchSize: 1, CacheTokens: 0},
 		{NumMicroBatches: 1, MicroBatchSize: 1, GenLen: -1, CacheTokens: 1},
+		// The byte-aware pair must come together.
+		{NumMicroBatches: 1, MicroBatchSize: 1, TokenBytes: 64},
+		{NumMicroBatches: 1, MicroBatchSize: 1, CacheBytes: 4096},
+		{NumMicroBatches: 1, MicroBatchSize: 1, CacheTokens: 10, TokenBytes: 64},
 	}
 	for i, cfg := range bad {
 		if _, _, err := Batch(nil, cfg); err == nil {
 			t.Errorf("case %d accepted", i)
 		}
+	}
+	// Byte-aware without CacheTokens is a valid config.
+	ok := Config{NumMicroBatches: 1, MicroBatchSize: 1, TokenBytes: 64, CacheBytes: 4096}
+	if _, _, err := Batch(nil, ok); err != nil {
+		t.Errorf("byte-aware config rejected: %v", err)
+	}
+}
+
+// TestByteBudgetAdmitsMore: the same arena budget spent at the int8
+// codec's per-token byte rate places requests a float32 wave must
+// defer — the Alg. 2 KV term counted in bytes, not tokens.
+func TestByteBudgetAdmitsMore(t *testing.T) {
+	const kvDim = 16
+	// Per-token payloads for kvDim=16: f32 = 2*16*4 = 128 bytes, int8 =
+	// 2*(16 + 4*1) = 40 bytes (kvcache.TokenBytes; hardcoded here to
+	// keep the package dependency-free).
+	const f32Bytes, int8Bytes = 128, 40
+	queue := reqs(40, 40, 40, 40)
+	base := Config{NumMicroBatches: 1, MicroBatchSize: 4, GenLen: 10, CacheBytes: 100 * f32Bytes}
+
+	f32cfg := base
+	f32cfg.TokenBytes = f32Bytes
+	batches, aborted, err := Batch(queue, f32cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical to the classic 100-token check: 40+10=50 fits, 80+20=100
+	// fits, 120+30 > 100 aborts.
+	if len(batches) != 1 || len(batches[0].Requests) != 2 || len(aborted) != 2 {
+		t.Fatalf("f32: batches %+v aborted %d, want one 2-request batch and 2 aborted", batches, len(aborted))
+	}
+
+	int8cfg := base
+	int8cfg.TokenBytes = int8Bytes
+	batches, aborted, err = Batch(queue, int8cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 1 || len(batches[0].Requests) != 4 || len(aborted) != 0 {
+		t.Fatalf("int8: batches %+v aborted %d, want all 4 placed in one batch", batches, len(aborted))
 	}
 }
 

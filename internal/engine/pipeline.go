@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"moelightning/internal/kvcache"
 	"moelightning/internal/memory"
@@ -46,6 +47,15 @@ type Pipeline struct {
 	// Counters observable by tests and examples.
 	Counters Counters
 
+	// PrefillTokens and PrefillDuration report the wave's prompt phase:
+	// how many prompt tokens completed prefill (a sequence retired by
+	// prefill-time KV exhaustion contributes none) and the wall-clock
+	// the packed pass took. Valid once Generate/GenerateStream has run
+	// prefill; the server folds them into ServerStats' prefill
+	// throughput.
+	PrefillTokens   int
+	PrefillDuration time.Duration
+
 	// ExpertLoad counts expert selections per layer.
 	ExpertLoad [][]int64
 
@@ -73,10 +83,11 @@ type Pipeline struct {
 	// step barrier.
 	seqErr []error
 
-	scratch    *ffnScratch
-	logits     []float32
-	normedHead []float32
-	lookahead  int
+	scratch      *ffnScratch
+	logits       []float32
+	normedHead   []float32
+	lookahead    int
+	prefillChunk int
 
 	// kern selects the forward kernels; benchmarks swap in the seed
 	// scalar implementations to measure the optimized paths' speedup.
@@ -126,7 +137,22 @@ type Config struct {
 	// bit-exact) or kvcache.Int8 (§3.3 group quantization — ~9/32 the
 	// cache footprint, attention dequantizes rows in place).
 	KVDtype kvcache.DType
+	// PrefillChunk bounds the wave-packed prefill's per-layer packed
+	// batch — and with it the prefill QKV/attention/FFN scratch — to
+	// this many prompt tokens: the wave's tokens stream through each
+	// layer in PrefillChunk-sized slices instead of sizing scratch by
+	// the wave's total. <= 0 selects DefaultPrefillChunk. Chunking never
+	// changes results: every kernel is row-independent and attention
+	// reads each token's own cached prefix, so the output is
+	// bit-identical for any chunk size.
+	PrefillChunk int
 }
+
+// DefaultPrefillChunk is the prefill token budget used when
+// Config.PrefillChunk is unset: large enough that typical waves pack
+// into one GEMM batch per layer, small enough to bound prefill scratch
+// for long-prompt waves.
+const DefaultPrefillChunk = 1024
 
 // NewPipeline assembles the engine over explicit arenas. numSeqs is the
 // decode batch N; sequences are partitioned into ⌈N/μ⌉ micro-batches.
@@ -273,6 +299,10 @@ func NewPipeline(w *Weights, gpu, pinned, cacheArena *memory.Arena, numSeqs int,
 
 	p.lanes = newLaneSet()
 	p.lookahead = cfg.Lookahead
+	p.prefillChunk = cfg.PrefillChunk
+	if p.prefillChunk <= 0 {
+		p.prefillChunk = DefaultPrefillChunk
+	}
 	return p, nil
 }
 

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"moelightning/internal/kvcache"
 	"moelightning/internal/memory"
@@ -47,7 +48,10 @@ func (p *Pipeline) GenerateStream(prompts [][]int, genLen int, sink StepSink, st
 	if len(prompts) != p.hidden.Rows {
 		return nil, fmt.Errorf("engine: %d prompts for a %d-sequence pipeline", len(prompts), p.hidden.Rows)
 	}
-	if err := p.prefill(prompts); err != nil {
+	prefillStart := time.Now()
+	err := p.prefill(prompts)
+	p.PrefillDuration = time.Since(prefillStart)
+	if err != nil {
 		return nil, err
 	}
 

@@ -8,29 +8,49 @@ import (
 	"moelightning/internal/tensor"
 )
 
+// prefillSpan is one sequence's contiguous run of prompt tokens inside
+// a packed chunk: tokens [tokLo, tokHi) of prompts[seq], occupying
+// packed rows [off, off+tokHi-tokLo).
+type prefillSpan struct {
+	seq          int
+	tokLo, tokHi int
+	off          int
+}
+
 // prefill runs the prompt phase layer-by-layer (the zigzag order of
-// §4): each layer's weights stream into the double buffer once, all
-// sequences' prompt tokens flow through it, and the per-layer K/V is
-// appended to the CPU cache. Computation is causal within each
-// sequence; the final hidden state of each prompt's last token seeds
-// decode. The QKV buffer's block layout (all Qs, then Ks, then Vs)
-// means the causal attention kernel reads the projection output
-// directly, with no re-packing copies.
+// §4) as a wave-packed pass: each layer's weights stream into the
+// double buffer once, and the WHOLE wave's prompt tokens flow through
+// it together. Per layer the live tokens are packed — in PrefillChunk-
+// sized token-budget slices, so scratch is bounded by the chunk rather
+// than the wave — and each chunk issues exactly one preAttn QKV GEMM
+// batch over [chunkTokens, hidden] (per-token positions replace the
+// shared 0..n-1 slice) and one expert-grouped postAttn FFN pass that
+// buckets tokens by expert ACROSS sequences, so a wave of short
+// prompts runs layers-many large GEMM triples instead of
+// numSeqs x layers skinny ones. Causal attention stays per-sequence
+// (each token reads only its own sequence's cached prefix, exactly the
+// blockwise path decode and the reference use) but is fanned across
+// the worker pool as one task set spanning every sequence in the
+// chunk, so short prompts no longer serialize behind long ones. All
+// kernels are row-independent and accumulate in fixed k-ascending /
+// expert-id-ascending order, so the packed shapes are bit-identical to
+// the sequence-at-a-time pass — and to reference.go — under both
+// codecs and any chunk size.
 //
 // A sequence whose Append exhausts the KV block pool is retired on the
 // spot — its error recorded in seqErr, its blocks released back to the
-// pool for the survivors — and skipped for the remaining layers, so
-// prefill-time exhaustion fails only the offending request, never the
-// wave. Sequences are independent within each layer (causal attention
-// reads only the sequence's own K/V), so a retirement leaves the
-// survivors' computation bit-identical.
+// pool for the survivors — and its rows are masked out of every
+// subsequent chunk's packed GEMMs, so prefill-time exhaustion fails
+// only the offending request, never the wave. Packing is row-gathered,
+// so a retirement leaves the survivors' packed rows carrying exactly
+// the values they would hold alone: their computation stays
+// bit-identical.
 func (p *Pipeline) prefill(prompts [][]int) error {
 	cfg := p.w.Cfg
 	layout := p.layout
 	q, kv := cfg.QDim(), cfg.KVDim()
 
 	total := 0
-	maxLen := 0
 	rowOf := make([]int, len(prompts)) // first row of each sequence
 	for s, prompt := range prompts {
 		if len(prompt) == 0 {
@@ -38,28 +58,49 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 		}
 		rowOf[s] = total
 		total += len(prompt)
-		if len(prompt) > maxLen {
-			maxLen = len(prompt)
-		}
 	}
 
-	// Prompt-wide hidden states plus per-sequence reusable workspaces
-	// (prompts can exceed the decode micro-batch, so prefill carries its
-	// own scratch).
-	x := tensor.NewMat(total, cfg.Hidden)
-	qkvBuf := make([]float32, maxLen*(q+2*kv))
-	attnOut := tensor.NewMat(maxLen, q)
-	positions := make([]int, maxLen)
-	for t := range positions {
-		positions[t] = t
+	chunk := p.prefillChunk
+	if chunk <= 0 || chunk > total {
+		chunk = total
 	}
-	scratch := newFFNScratch(layout, maxLen)
+
+	// Wave-wide hidden states plus chunk-bounded packed workspaces
+	// (prompt waves can exceed the decode micro-batch, so prefill
+	// carries its own scratch, sized by the token budget — not by the
+	// longest prompt).
+	x := tensor.NewMat(total, cfg.Hidden)
+	// xPack is only needed once a retirement punches a hole in the
+	// packed rows; the common no-retirement wave never allocates it.
+	var xPack tensor.Mat
+	qkvBuf := make([]float32, chunk*(q+2*kv))
+	attnOut := tensor.NewMat(chunk, q)
+	positions := make([]int, chunk)
+	scratch := newFFNScratch(layout, chunk)
+	spans := make([]prefillSpan, 0, len(prompts))
+	items := make([]tensor.CausalItem, 0, len(prompts))
+
+	// Per-sequence reusable zero-copy block-view slices over the paged
+	// cache (only the serving codec's kind is allocated).
 	quantized := p.cache.DType() == kvcache.Int8
-	var qKeys, qVals []tensor.QBlock
+	var blockK, blockV [][]tensor.Mat
+	var qblockK, qblockV [][]tensor.QBlock
 	if quantized {
-		maxBlocks := (maxLen+p.cache.BlockTokens()-1)/p.cache.BlockTokens() + 1
-		qKeys = make([]tensor.QBlock, 0, maxBlocks)
-		qVals = make([]tensor.QBlock, 0, maxBlocks)
+		qblockK = make([][]tensor.QBlock, len(prompts))
+		qblockV = make([][]tensor.QBlock, len(prompts))
+	} else {
+		blockK = make([][]tensor.Mat, len(prompts))
+		blockV = make([][]tensor.Mat, len(prompts))
+	}
+	for s, prompt := range prompts {
+		maxBlocks := (len(prompt)+p.cache.BlockTokens()-1)/p.cache.BlockTokens() + 1
+		if quantized {
+			qblockK[s] = make([]tensor.QBlock, 0, maxBlocks)
+			qblockV[s] = make([]tensor.QBlock, 0, maxBlocks)
+		} else {
+			blockK[s] = make([]tensor.Mat, 0, maxBlocks)
+			blockV[s] = make([]tensor.Mat, 0, maxBlocks)
+		}
 	}
 
 	for s, prompt := range prompts {
@@ -73,66 +114,167 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 			return err
 		}
 		layer := p.db.Slot(l).Data()
-		for s, prompt := range prompts {
-			if p.seqErr[s] != nil {
-				continue // exhausted at an earlier layer; already retired
+		for lo := 0; lo < total; lo += chunk {
+			hi := lo + chunk
+			if hi > total {
+				hi = total
 			}
-			n := len(prompt)
-			rows := tensor.FromSlice(n, cfg.Hidden, x.Data[rowOf[s]*cfg.Hidden:(rowOf[s]+n)*cfg.Hidden])
-			qkv := qkvBuf[:n*(q+2*kv)]
-			p.kern.preAttn(layout, layer, rows, positions[:n], qkv, scratch)
-			queries, keys, values := qkvViews(qkv, n, q, kv)
-			arows := tensor.FromSlice(n, q, attnOut.Data[:n*q])
+
+			// Collect the chunk's live spans (sequence-ascending, the same
+			// order the sequence-at-a-time pass appended in): retired
+			// sequences' rows are masked out of the packed batch here.
+			spans = spans[:0]
+			m := 0
+			allLive := true
+			for s, prompt := range prompts {
+				a, b := lo-rowOf[s], hi-rowOf[s]
+				if a < 0 {
+					a = 0
+				}
+				if b > len(prompt) {
+					b = len(prompt)
+				}
+				if a >= b {
+					continue
+				}
+				if p.seqErr[s] != nil {
+					allLive = false // exhausted earlier; already retired
+					continue
+				}
+				spans = append(spans, prefillSpan{seq: s, tokLo: a, tokHi: b, off: m})
+				for t := a; t < b; t++ {
+					positions[m] = t
+					m++
+				}
+			}
+			if m == 0 {
+				continue
+			}
+
+			// One packed QKV GEMM batch over every live token of the
+			// chunk. With every intersecting sequence live (the common
+			// case) the chunk's rows are exactly x's [lo, hi) range and
+			// the kernels run over them in place; after a retirement the
+			// survivors' rows are gathered into xPack so dead rows stay
+			// out of the packed shapes.
+			rows := tensor.FromSlice(m, cfg.Hidden, x.Data[lo*cfg.Hidden:(lo+m)*cfg.Hidden])
+			if !allLive {
+				if xPack.Rows == 0 {
+					xPack = tensor.NewMat(chunk, cfg.Hidden)
+				}
+				for _, sp := range spans {
+					for t := sp.tokLo; t < sp.tokHi; t++ {
+						copy(xPack.Row(sp.off+(t-sp.tokLo)), x.Row(rowOf[sp.seq]+t))
+					}
+				}
+				rows = tensor.FromSlice(m, cfg.Hidden, xPack.Data[:m*cfg.Hidden])
+			}
+			qkv := qkvBuf[:m*(q+2*kv)]
+			p.kern.preAttn(layout, layer, rows, positions[:m], qkv, scratch)
+			p.Counters.GPUKernels.Add(1) // the packed QKV launch
+			queries, keys, values := qkvViews(qkv, m, q, kv)
 
 			// Offload K/V to the CPU cache (prefill KV offloading, §4);
 			// the cache quantizes on write under an Int8 codec, and the
 			// movement counter accounts the bytes the offload actually
-			// ships.
-			for t := 0; t < n; t++ {
-				if err := p.cache.Append(s, l, keys.Row(t), values.Row(t)); err != nil {
-					if errors.Is(err, kvcache.ErrOutOfBlocks) {
-						p.seqErr[s] = err
-						p.retire(s)
-						break
+			// ships. An out-of-blocks Append retires just that sequence.
+			for _, sp := range spans {
+				s := sp.seq
+				for t := sp.tokLo; t < sp.tokHi; t++ {
+					r := sp.off + (t - sp.tokLo)
+					if err := p.cache.Append(s, l, keys.Row(r), values.Row(r)); err != nil {
+						if errors.Is(err, kvcache.ErrOutOfBlocks) {
+							p.seqErr[s] = err
+							p.retire(s)
+							break
+						}
+						return err
 					}
-					return err
+					p.Counters.DtoHBytes.Add(int64(p.cache.TokenBytes()))
 				}
-				p.Counters.DtoHBytes.Add(int64(p.cache.TokenBytes()))
 			}
-			if p.seqErr[s] != nil {
+
+			// If the Append loop starved every live sequence of the
+			// chunk, there is nothing left to attend or project — skip
+			// the remaining packed kernels rather than running (and
+			// counting) them over dead rows.
+			live := 0
+			for _, sp := range spans {
+				if p.seqErr[sp.seq] == nil {
+					live++
+				}
+			}
+			if live == 0 {
 				continue
 			}
 
-			// Causal attention over the prompt, fanned across the worker
-			// pool either way. Under F32 the flat kernel reads the K/V
-			// just computed (still in registers/HBM on a real GPU); under
-			// Int8 each token attends over its quantized prefix through
-			// the same dequant-aware kernel as decode (and the
-			// reference), so pipeline-vs-reference bit-identity holds
+			// Causal attention over each sequence's own cached prefix,
+			// fanned across the pool as one task set spanning every
+			// sequence of the chunk. Under F32 the blockwise kernel reads
+			// the rows just appended in place (bit-identical to the flat
+			// path); under Int8 each token attends over its quantized
+			// prefix through the same dequant-aware kernel as decode (and
+			// the reference), so pipeline-vs-reference bit-identity holds
 			// with the codec enabled.
-			if quantized {
-				qKeys, qVals, _ = p.cache.QBlockView(s, l, qKeys[:0], qVals[:0])
-				tensor.AttendCausalQ(arows, queries, qKeys, qVals, cfg.QHeads, cfg.KVHeads, cfg.HeadDim)
-			} else {
-				tensor.AttendCausal(arows, queries, keys, values, cfg.QHeads, cfg.KVHeads, cfg.HeadDim)
+			items = items[:0]
+			for _, sp := range spans {
+				if p.seqErr[sp.seq] != nil {
+					continue // starved mid-chunk: rows are dead from here on
+				}
+				n := sp.tokHi - sp.tokLo
+				it := tensor.CausalItem{
+					Out:      tensor.FromSlice(n, q, attnOut.Data[sp.off*q:(sp.off+n)*q]),
+					Queries:  tensor.FromSlice(n, q, queries.Data[sp.off*q:(sp.off+n)*q]),
+					StartPos: sp.tokLo,
+				}
+				if quantized {
+					qblockK[sp.seq], qblockV[sp.seq], _ = p.cache.QBlockView(sp.seq, l, qblockK[sp.seq][:0], qblockV[sp.seq][:0])
+					it.KeyQBlocks, it.ValueQBlocks = qblockK[sp.seq], qblockV[sp.seq]
+				} else {
+					blockK[sp.seq], blockV[sp.seq], _ = p.cache.BlockView(sp.seq, l, blockK[sp.seq][:0], blockV[sp.seq][:0])
+					it.KeyBlocks, it.ValueBlocks = blockK[sp.seq], blockV[sp.seq]
+				}
+				items = append(items, it)
 			}
+			tensor.AttendCausalMany(items, cfg.QHeads, cfg.KVHeads, cfg.HeadDim)
+
+			// One expert-grouped FFN pass over the whole chunk: tokens
+			// bucket by expert across sequences, one batched GEMM triple
+			// per expert with work. Rows of a sequence starved mid-chunk
+			// ride along (row independence keeps the survivors bit-exact)
+			// but are neither scattered back nor counted.
+			arows := tensor.FromSlice(m, q, attnOut.Data[:m*q])
 			chosen := p.kern.postAttn(layout, layer, arows, rows, scratch)
-			for _, experts := range chosen {
-				for _, e := range experts {
-					p.ExpertLoad[l][e]++
+			for _, sp := range spans {
+				if p.seqErr[sp.seq] != nil {
+					continue
+				}
+				for r := sp.off; r < sp.off+(sp.tokHi-sp.tokLo); r++ {
+					if !allLive {
+						copy(x.Row(rowOf[sp.seq]+positions[r]), xPack.Row(r))
+					}
+					for _, e := range chosen[r] {
+						p.ExpertLoad[l][e]++
+					}
 				}
 			}
-			p.Counters.GPUKernels.Add(2)
+			// The packed FFN launch: with the QKV launch above, 2 per
+			// (layer, chunk) with surviving work — the kernels a GPU
+			// would actually see, not a per-sequence count.
+			p.Counters.GPUKernels.Add(1)
 		}
 	}
 
 	// Last-token hidden states seed decode (retired sequences never
 	// reach decode, so their stale rows are harmless).
+	prefilled := 0
 	for s, prompt := range prompts {
 		if p.seqErr[s] != nil {
 			continue
 		}
 		copy(p.hidden.Row(s), x.Row(rowOf[s]+len(prompt)-1))
+		prefilled += len(prompt)
 	}
+	p.PrefillTokens = prefilled
 	return nil
 }

@@ -16,7 +16,10 @@ type ServeConfig struct {
 	MicroBatchSize  int
 	// GenLen is tokens to generate per request.
 	GenLen int
-	// CacheTokens is the per-micro-batch KV budget in tokens.
+	// CacheTokens is the per-micro-batch KV budget, in float32-token
+	// equivalents of arena capacity: the Alg. 2 batcher spends it in
+	// bytes at the serving codec's kvcache.TokenBytes rate, so an int8
+	// wave admits ~32/9 the context of the identical float32 config.
 	CacheTokens int
 	// MaxContext bounds any single sequence (prompt + generation).
 	MaxContext int
@@ -35,6 +38,10 @@ type ServeConfig struct {
 	// group quantization — ~9/32 the cache footprint per token, so the
 	// same arena holds ~3.5x the context).
 	KVDtype kvcache.DType
+	// PrefillChunk bounds the wave-packed prefill's per-layer packed
+	// batch in prompt tokens (Config.PrefillChunk; <= 0 selects the
+	// engine default).
+	PrefillChunk int
 }
 
 // ServeResult is the outcome of serving a queue.
@@ -46,6 +53,11 @@ type ServeResult struct {
 	// Deferred counts requests that were pushed to a later wave at
 	// least once (Alg. 2's aborted list).
 	Deferred int
+	// PrefillTokens counts prompt tokens prefilled across all waves;
+	// PrefillTokensPerSecond is prompt-phase throughput over the time
+	// spent in the packed prefill pass.
+	PrefillTokens          int
+	PrefillTokensPerSecond float64
 	// Data-movement totals across all waves (bytes / pages).
 	HtoDBytes, DtoHBytes, PagesMoved int64
 }
@@ -79,6 +91,8 @@ func Serve(w *Weights, gpu, pinned, cacheArena *memory.Arena, queue []workload.R
 	st := srv.Stats()
 	res.Waves = st.Waves
 	res.Deferred = st.Deferred
+	res.PrefillTokens = st.PrefillTokens
+	res.PrefillTokensPerSecond = st.PrefillTokensPerSecond
 	res.HtoDBytes = st.HtoDBytes
 	res.DtoHBytes = st.DtoHBytes
 	res.PagesMoved = st.PagesMoved

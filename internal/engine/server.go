@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"moelightning/internal/batching"
+	"moelightning/internal/kvcache"
 	"moelightning/internal/memory"
 	"moelightning/internal/workload"
 )
@@ -159,6 +160,12 @@ type ServerStats struct {
 	Waves, Deferred int
 	// GeneratedTokens counts every token streamed to a handle.
 	GeneratedTokens int
+	// PrefillTokens counts prompt tokens prefilled across all waves
+	// (a request retired by prefill-time KV exhaustion contributes
+	// none); PrefillTokensPerSecond is prompt-phase throughput over the
+	// time the waves spent in the packed prefill pass.
+	PrefillTokens          int
+	PrefillTokensPerSecond float64
 	// AvgTTFT is the mean time from Submit to a request's first token;
 	// AvgTPOT the mean time per output token after the first.
 	AvgTTFT, AvgTPOT time.Duration
@@ -194,10 +201,30 @@ type serverAccum struct {
 	submitted, completed, canceled, failed int
 	waves, deferred                        int
 	tokens                                 int
+	prefillTokens                          int
+	prefillTime                            time.Duration
 	ttftSum, tpotSum                       time.Duration
 	ttftN, tpotN                           int
 	busy                                   time.Duration
 	htod, dtoh, pages                      int64
+}
+
+// batchConfig builds the Alg. 2 configuration for a server: the KV
+// term is budgeted in BYTES — CacheTokens float32-token-equivalents of
+// per-micro-batch arena capacity, spent at the serving codec's
+// kvcache.TokenBytes rate — so an int8 wave admits ~32/9 the context
+// of the identical float32 config instead of leaving the arena's
+// headroom idle. For a float32 codec the byte check reduces exactly to
+// the classic token check.
+func batchConfig(cfg ServeConfig, kvDim int) batching.Config {
+	return batching.Config{
+		NumMicroBatches: cfg.NumMicroBatches,
+		MicroBatchSize:  cfg.MicroBatchSize,
+		GenLen:          cfg.GenLen,
+		CacheTokens:     cfg.CacheTokens,
+		TokenBytes:      kvcache.TokenBytes(kvDim, cfg.KVDtype),
+		CacheBytes:      cfg.CacheTokens * kvcache.TokenBytes(kvDim, kvcache.F32),
+	}
 }
 
 // NewServer builds the serving engine over explicit arenas and starts
@@ -210,13 +237,7 @@ func NewServer(w *Weights, gpu, pinned, cacheArena *memory.Arena, cfg ServeConfi
 	if cfg.GenLen < 0 {
 		return nil, fmt.Errorf("engine: negative GenLen %d", cfg.GenLen)
 	}
-	bcfg := batching.Config{
-		NumMicroBatches: cfg.NumMicroBatches,
-		MicroBatchSize:  cfg.MicroBatchSize,
-		GenLen:          cfg.GenLen,
-		CacheTokens:     cfg.CacheTokens,
-	}
-	if err := bcfg.Validate(); err != nil {
+	if err := batchConfig(cfg, w.Cfg.KVDim()).Validate(); err != nil {
 		return nil, err
 	}
 	s := &Server{
@@ -307,7 +328,11 @@ func (s *Server) Stats() ServerStats {
 		Canceled: a.canceled, Failed: a.failed,
 		Waves: a.waves, Deferred: a.deferred,
 		GeneratedTokens: a.tokens,
+		PrefillTokens:   a.prefillTokens,
 		HtoDBytes:       a.htod, DtoHBytes: a.dtoh, PagesMoved: a.pages,
+	}
+	if a.prefillTime > 0 {
+		st.PrefillTokensPerSecond = float64(a.prefillTokens) / a.prefillTime.Seconds()
 	}
 	if a.ttftN > 0 {
 		st.AvgTTFT = a.ttftSum / time.Duration(a.ttftN)
@@ -409,12 +434,7 @@ func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([
 	for i, h := range pending {
 		reqs[i] = h.req
 	}
-	mbs, aborted, err := batching.Batch(reqs, batching.Config{
-		NumMicroBatches: s.cfg.NumMicroBatches,
-		MicroBatchSize:  s.cfg.MicroBatchSize,
-		GenLen:          s.cfg.GenLen,
-		CacheTokens:     s.cfg.CacheTokens,
-	})
+	mbs, aborted, err := batching.Batch(reqs, batchConfig(s.cfg, s.w.Cfg.KVDim()))
 	if err != nil {
 		s.failAll(pending, err)
 		return nil, nil
@@ -484,10 +504,11 @@ func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([
 	s.pinned.Reset()
 	s.cache.Reset()
 	pl, err := NewPipeline(s.w, s.gpu, s.pinned, s.cache, len(wave), Config{
-		MaxContext: s.cfg.MaxContext,
-		Lookahead:  s.cfg.Lookahead,
-		Partition:  partition,
-		KVDtype:    s.cfg.KVDtype,
+		MaxContext:   s.cfg.MaxContext,
+		Lookahead:    s.cfg.Lookahead,
+		Partition:    partition,
+		KVDtype:      s.cfg.KVDtype,
+		PrefillChunk: s.cfg.PrefillChunk,
 	})
 	if err != nil {
 		werr := fmt.Errorf("engine: wave %d: %w", waveNum, err)
@@ -505,6 +526,8 @@ func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([
 	s.stats.htod += pl.Counters.HtoDBytes.Load()
 	s.stats.dtoh += pl.Counters.DtoHBytes.Load()
 	s.stats.pages += pl.Counters.PagesMoved.Load()
+	s.stats.prefillTokens += pl.PrefillTokens
+	s.stats.prefillTime += pl.PrefillDuration
 	s.mu.Unlock()
 	pl.Close()
 	if gerr != nil {

@@ -181,6 +181,149 @@ func causalBounds(n, chunks int) []int {
 	return bounds
 }
 
+// BlocksPrefix appends views of the first n rows of a float32 block
+// list to dst (the last view possibly partial) — how causal attention
+// scopes token t to its t+1-row prefix without copying. The float32
+// analogue of QBlocksPrefix.
+func BlocksPrefix(dst, blocks []Mat, n int) []Mat {
+	for _, b := range blocks {
+		if n <= 0 {
+			break
+		}
+		rows := b.Rows
+		if rows > n {
+			rows = n
+		}
+		dst = append(dst, Mat{Rows: rows, Cols: b.Cols, Data: b.Data[:rows*b.Cols]})
+		n -= rows
+	}
+	return dst
+}
+
+// CausalItem is one sequence's slice of a wave-packed prefill chunk:
+// Queries holds n consecutive prompt tokens' query vectors (each
+// nq*headDim rows of a Mat), Out the matching output rows, and the
+// context is the sequence's cached prefix — paged float32 blocks
+// (KeyBlocks/ValueBlocks) or int8-quantized blocks (KeyQBlocks/
+// ValueQBlocks). StartPos is the absolute prompt position of
+// Queries.Row(0): token i attends causally over the first StartPos+i+1
+// context rows, so a prompt split across token-budget chunks still
+// sees exactly its own prefix.
+type CausalItem struct {
+	Out, Queries             Mat
+	KeyBlocks, ValueBlocks   []Mat
+	KeyQBlocks, ValueQBlocks []QBlock
+	StartPos                 int
+}
+
+// causalManyBounds splits the flattened (item, token) index space into
+// chunk boundaries of near-equal attention COST, not token count:
+// token i of an item costs StartPos+i+1 context rows, so equal-count
+// ranges would leave the worker holding a long prompt's tail ~2x the
+// average work — the same triangular skew causalBounds corrects for
+// the single-sequence kernels. Returns nil when there is nothing to
+// do.
+func causalManyBounds(items []CausalItem, chunks, total int) []int {
+	if chunks > total {
+		chunks = total
+	}
+	if chunks < 1 {
+		return nil
+	}
+	var cost float64
+	for i := range items {
+		n, s := float64(items[i].Queries.Rows), float64(items[i].StartPos)
+		cost += n*s + n*(n+1)/2
+	}
+	bounds := make([]int, 1, chunks+1)
+	var acc float64
+	target := cost / float64(chunks)
+	g := 0
+	for i := range items {
+		it := &items[i]
+		for t := 0; t < it.Queries.Rows; t++ {
+			acc += float64(it.StartPos + t + 1)
+			g++
+			if acc >= target*float64(len(bounds)) && len(bounds) < chunks {
+				bounds = append(bounds, g)
+			}
+		}
+	}
+	return append(bounds, total)
+}
+
+// AttendCausalMany computes causal prefill attention for a whole
+// packed chunk — every sequence's query tokens — as one task set
+// fanned across the default worker pool: the flattened (item, token)
+// index space is split into contiguous ranges of near-equal attention
+// cost (causalManyBounds), so short prompts never serialize behind
+// long ones the way a per-sequence AttendCausal loop forces them to.
+// Each token's problem reads only its own cached prefix (scoped by
+// BlocksPrefix/QBlocksPrefix views) and writes only its own output
+// row, so the fan-out is bit-identical to solving every item
+// sequentially — and, by the blockwise-kernel invariants, to the flat
+// AttendCausal/AttendCausalQ paths over the same values.
+func AttendCausalMany(items []CausalItem, nq, nkv, headDim int) {
+	total, maxCtx, maxBlocks := 0, 0, 0
+	for i := range items {
+		it := &items[i]
+		total += it.Queries.Rows
+		if c := it.StartPos + it.Queries.Rows; c > maxCtx {
+			maxCtx = c
+		}
+		if nb := len(it.KeyBlocks) + len(it.KeyQBlocks); nb > maxBlocks {
+			maxBlocks = nb
+		}
+	}
+	pool := Default()
+	bounds := causalManyBounds(items, pool.Workers(), total)
+	if bounds == nil {
+		return
+	}
+	group := nq / nkv
+	pool.ParallelFor(len(bounds)-1, 1, func(clo, chi int) {
+		lo, hi := bounds[clo], bounds[chi]
+		// Per-worker scratch, sized once for the chunk's worst token
+		// (the quantized score layout covers the float32 one).
+		scores := make([]float32, group*maxCtx)
+		rowBuf := make([]float32, headDim)
+		kp := make([]Mat, 0, maxBlocks)
+		vp := make([]Mat, 0, maxBlocks)
+		qkp := make([]QBlock, 0, maxBlocks)
+		qvp := make([]QBlock, 0, maxBlocks)
+		base := 0
+		for i := range items {
+			it := &items[i]
+			n := it.Queries.Rows
+			a, b := lo-base, hi-base
+			base += n
+			if a < 0 {
+				a = 0
+			}
+			if b > n {
+				b = n
+			}
+			for t := a; t < b; t++ {
+				ctx := it.StartPos + t + 1
+				if len(it.KeyQBlocks) > 0 {
+					qkp = QBlocksPrefix(qkp[:0], it.KeyQBlocks, ctx)
+					qvp = QBlocksPrefix(qvp[:0], it.ValueQBlocks, ctx)
+					AttendOneBlocksQ(it.Out.Row(t), it.Queries.Row(t), qkp, qvp,
+						nq, nkv, headDim, scores[:group*ctx], rowBuf)
+				} else {
+					kp = BlocksPrefix(kp[:0], it.KeyBlocks, ctx)
+					vp = BlocksPrefix(vp[:0], it.ValueBlocks, ctx)
+					AttendOneBlocks(it.Out.Row(t), it.Queries.Row(t), kp, vp,
+						nq, nkv, headDim, scores[:ctx])
+				}
+			}
+			if base >= hi {
+				break
+			}
+		}
+	})
+}
+
 // AttendCausal computes prefill attention for a whole prompt: queries
 // [n, nq*headDim] against keys/values [n, nkv*headDim] with a causal
 // mask; out is [n, nq*headDim]. Query tokens fan out across the

@@ -77,8 +77,11 @@ type ServerConfig struct {
 	// Lookahead is the pipeline's CPU-attention lookahead (Alg. 1's
 	// default of 2 when zero).
 	Lookahead int
-	// CacheTokens is the per-micro-batch KV budget in tokens; default
-	// MicroBatchSize * MaxContext.
+	// CacheTokens is the per-micro-batch KV budget in float32-token
+	// equivalents of arena capacity; default MicroBatchSize *
+	// MaxContext. The batcher spends it in bytes at the KVDtype codec's
+	// per-token rate, so a KVInt8 server admits ~32/9 the context of
+	// the identical KVFloat32 one.
 	CacheTokens int
 	// Vocab sizes the synthetic prompts derived from request IDs;
 	// default the model's vocabulary.
@@ -90,6 +93,9 @@ type ServerConfig struct {
 	// KVDtype selects the KV cache codec: KVFloat32 (the zero value)
 	// or KVInt8 for the §3.3 group-quantized cache.
 	KVDtype KVDtype
+	// PrefillChunk bounds the wave-packed prefill's per-layer packed
+	// batch in prompt tokens (<= 0 selects the engine default).
+	PrefillChunk int
 }
 
 func (c *ServerConfig) defaults() {
@@ -163,6 +169,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Vocab:              vocab,
 		HonorRequestGenLen: !cfg.FixedGenLen,
 		KVDtype:            cfg.KVDtype,
+		PrefillChunk:       cfg.PrefillChunk,
 	})
 	if err != nil {
 		return nil, err
