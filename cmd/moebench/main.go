@@ -189,6 +189,13 @@ func runServe(kvDtype moelightning.KVDtype) error {
 	fmt.Printf("kv %v: waves %d, deferred %d, canceled %d; prefill %d tokens at %.0f tok/s; %d tokens at %.0f tok/s; TTFT %v, TPOT %v\n",
 		kvDtype, st.Waves, st.Deferred, st.Canceled, st.PrefillTokens, st.PrefillTokensPerSecond,
 		st.GeneratedTokens, st.TokensPerSecond, st.AvgTTFT, st.AvgTPOT)
+	warmHit := 0.0
+	if acq := st.ExpertHits + st.ExpertMisses; acq > 0 {
+		warmHit = 100 * float64(st.ExpertHits) / float64(acq)
+	}
+	fmt.Printf("movement: HtoD %.1f MiB, DtoH %.1f MiB, %d shared pages; expert weights %.1f MiB fetched, warm-hit %.0f%% (%d hits / %d misses)\n",
+		float64(st.HtoDBytes)/(1<<20), float64(st.DtoHBytes)/(1<<20), st.PagesMoved,
+		float64(st.WeightBytesFetched)/(1<<20), warmHit, st.ExpertHits, st.ExpertMisses)
 	return nil
 }
 

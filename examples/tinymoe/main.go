@@ -73,9 +73,13 @@ func main() {
 	}
 	fmt.Println("\npipeline output matches the sequential reference token-for-token")
 
-	fmt.Printf("\ndata movement (bytes): HtoD %d, DtoH %d, pinned staging %d, weight pages %d\n",
+	pipe.Close() // drain the lanes and the expert prefetcher so counters are final
+	fmt.Printf("\ndata movement (bytes): HtoD %d, DtoH %d, pinned staging %d, shared weight pages %d\n",
 		pipe.Counters.HtoDBytes.Load(), pipe.Counters.DtoHBytes.Load(),
 		pipe.Counters.PinBytes.Load(), pipe.Counters.PagesMoved.Load())
+	ep := &pipe.Counters.ExpertPaging
+	fmt.Printf("expert paging: %d hits, %d misses, %d prefetched, %d evicted, %d bytes fetched\n",
+		ep.Hits.Load(), ep.Misses.Load(), ep.Prefetched.Load(), ep.Evicted.Load(), ep.BytesFetched.Load())
 	fmt.Printf("kernels: %d GPU launches, %d CPU attention calls\n",
 		pipe.Counters.GPUKernels.Load(), pipe.Counters.CPUAttns.Load())
 

@@ -43,6 +43,10 @@ type FunctionalOptions struct {
 	// PrefillChunk bounds the wave-packed prefill's per-layer packed
 	// batch in prompt tokens (<= 0 selects the engine default).
 	PrefillChunk int
+	// ExpertResidencyBytes caps the GPU-resident expert-weight pool
+	// (<= 0 selects two layers' expert sets). Output is bit-identical
+	// for any value; a smaller pool just demand-fetches more.
+	ExpertResidencyBytes int
 }
 
 func (o *FunctionalOptions) defaults() {
@@ -77,6 +81,12 @@ type FunctionalResult struct {
 	// HtoDBytes / DtoHBytes / PagesMoved account the data movement the
 	// pipeline performed (bytes / page count).
 	HtoDBytes, DtoHBytes, PagesMoved int64
+	// WeightBytesFetched is the expert-pager traffic: bytes of expert
+	// FFN blocks fetched into the GPU residency pool (demand + prefetch).
+	// ExpertHits / ExpertMisses split expert acquisitions into warm hits
+	// and demand-fetched misses.
+	WeightBytesFetched       int64
+	ExpertHits, ExpertMisses int64
 	// Verified is true when the reference cross-check ran and matched.
 	Verified bool
 }
@@ -94,17 +104,18 @@ func RunFunctional(cfg ModelConfig, requests []Request, opts FunctionalOptions) 
 		return FunctionalResult{}, fmt.Errorf("moelightning: empty request queue")
 	}
 	srv, err := NewServer(ServerConfig{
-		Model:           cfg,
-		Seed:            opts.Seed,
-		MicroBatchSize:  opts.MicroBatchSize,
-		NumMicroBatches: opts.NumMicroBatches,
-		GenLen:          opts.GenLen,
-		MaxContext:      opts.MaxContext,
-		Lookahead:       opts.Lookahead,
-		Vocab:           opts.Vocab,
-		FixedGenLen:     true,
-		KVDtype:         opts.KVDtype,
-		PrefillChunk:    opts.PrefillChunk,
+		Model:                cfg,
+		Seed:                 opts.Seed,
+		MicroBatchSize:       opts.MicroBatchSize,
+		NumMicroBatches:      opts.NumMicroBatches,
+		GenLen:               opts.GenLen,
+		MaxContext:           opts.MaxContext,
+		Lookahead:            opts.Lookahead,
+		Vocab:                opts.Vocab,
+		FixedGenLen:          true,
+		KVDtype:              opts.KVDtype,
+		PrefillChunk:         opts.PrefillChunk,
+		ExpertResidencyBytes: opts.ExpertResidencyBytes,
 	})
 	if err != nil {
 		return FunctionalResult{}, err
@@ -134,6 +145,9 @@ func RunFunctional(cfg ModelConfig, requests []Request, opts FunctionalOptions) 
 	out.HtoDBytes = st.HtoDBytes
 	out.DtoHBytes = st.DtoHBytes
 	out.PagesMoved = st.PagesMoved
+	out.WeightBytesFetched = st.WeightBytesFetched
+	out.ExpertHits = st.ExpertHits
+	out.ExpertMisses = st.ExpertMisses
 
 	if opts.Verify {
 		// srv.vocab is the serving path's effective vocabulary, so the

@@ -1,0 +1,8 @@
+package engine
+
+// stageLayer stages one layer for a benchmark baseline through the
+// engine's own primeLayer path — shared region synchronously into the
+// double buffer, predicted expert set to the prefetcher. It replaces
+// the manual per-bench layer-load loops so every baseline exercises
+// exactly the load path GenerateStream's preload and prefill use.
+func stageLayer(p *Pipeline, v int) error { return p.primeLayer(v) }

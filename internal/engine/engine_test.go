@@ -115,8 +115,10 @@ func TestPipelineExpertLoadMatchesReference(t *testing.T) {
 }
 
 // TestPipelineWeightTraffic checks the paging accounting: each decode
-// step must move exactly Layers x LayerFloats of weights HtoD, in
-// Layers x MicroBatches pages.
+// step must move exactly Layers x SharedFloats of shared weights HtoD,
+// in Layers x MicroBatches pages, while expert-weight traffic rides the
+// pager and must satisfy its own byte invariant (every fetch — demand
+// miss or prefetch — moves exactly one expert block).
 func TestPipelineWeightTraffic(t *testing.T) {
 	cfg := model.Tiny()
 	cpu, gpu, pinned, cacheArena := newTestArenas()
@@ -137,14 +139,14 @@ func TestPipelineWeightTraffic(t *testing.T) {
 	}
 
 	nb := (seqs + mu - 1) / mu
-	layerFloats := int64(pl.layout.LayerFloats())
-	// Prefill loads each layer once; setup preloads layer 0; each of
-	// the gen-1 decode steps streams every layer once.
+	sharedFloats := int64(pl.layout.SharedFloats())
+	// Prefill loads each layer's shared region once; setup preloads
+	// layer 0; each of the gen-1 decode steps streams every layer once.
 	wantPages := int64(cfg.Layers*nb) + int64(nb) + int64((gen-1)*cfg.Layers*nb)
 	if got := pl.Counters.PagesMoved.Load(); got != wantPages {
 		t.Errorf("pages moved = %d, want %d", got, wantPages)
 	}
-	wantWeightFloats := (int64(cfg.Layers) + 1 + int64((gen-1)*cfg.Layers)) * layerFloats
+	wantWeightFloats := (int64(cfg.Layers) + 1 + int64((gen-1)*cfg.Layers)) * sharedFloats
 	// HtoD also carries the per-micro-batch attention outputs. The
 	// counters report bytes (4 per float32 element moved).
 	hidden := int64(0)
@@ -154,6 +156,22 @@ func TestPipelineWeightTraffic(t *testing.T) {
 	wantHtoD := 4 * (wantWeightFloats + hidden*int64((gen-1)*cfg.Layers))
 	if got := pl.Counters.HtoDBytes.Load(); got != wantHtoD {
 		t.Errorf("HtoD bytes = %d, want %d", got, wantHtoD)
+	}
+
+	// Expert traffic: Close first so in-flight prefetches have landed,
+	// then every fetched block must account for exactly one block of
+	// bytes, and a run this size must both hit and fetch.
+	pl.Close()
+	ep := &pl.Counters.ExpertPaging
+	fetched := ep.Misses.Load() + ep.Prefetched.Load()
+	if want := 4 * int64(pl.layout.ExpertFloats()) * fetched; ep.BytesFetched.Load() != want {
+		t.Errorf("expert bytes fetched = %d, want %d (%d fetches)", ep.BytesFetched.Load(), want, fetched)
+	}
+	if fetched == 0 {
+		t.Error("expert pager fetched nothing; generation must page expert weights")
+	}
+	if ep.Hits.Load() == 0 {
+		t.Error("expert pager never hit; resident experts should be reused within a layer")
 	}
 }
 
@@ -175,7 +193,9 @@ func TestPipelineArenaDiscipline(t *testing.T) {
 	layout := NewLayout(cfg)
 	q, kv := cfg.QDim(), cfg.KVDim()
 	nb := 2
-	want := 2*layout.LayerFloats() + // double buffer
+	slots := layout.ResidencySlots(0)
+	want := 2*layout.SharedFloats() + // double buffer (shared region only)
+		slots*layout.ExpertFloats() + // expert pager resident set
 		4*cfg.Hidden + // hidden states
 		nb*2*(q+2*kv) + nb*2*q // per-micro-batch QKV and attention buffers
 	if got := gpu.Used(); got != want {

@@ -49,9 +49,36 @@ func preAttention(layout Layout, layer []float32, x tensor.Mat, positions []int,
 	}
 }
 
+// expertSource resolves expert FFN weights for postAttention. Acquire
+// pins expert e's projections in whatever memory serves the kernels —
+// the GPU residency pool for the pipeline, where a cold expert
+// demand-fetches synchronously so routing is never wrong, just slower;
+// the CPU layer region for the reference — and Release unpins them
+// once the expert's GEMM triple is done.
+type expertSource interface {
+	Acquire(e int) (gate, up, down tensor.Mat)
+	Release(e int)
+}
+
+// residentExperts serves experts straight from a fully resident layer
+// region: the reference engine and the kernel unit tests.
+type residentExperts struct {
+	layout Layout
+	data   []float32
+}
+
+func (s residentExperts) Acquire(e int) (gate, up, down tensor.Mat) {
+	return s.layout.Expert(s.data, e)
+}
+
+func (s residentExperts) Release(int) {}
+
 // postAttention applies the O projection, residual, FFN norm, router
 // and top-k expert FFN for a group of tokens. attnOut is [n, qdim]; x
-// is [n, hidden] and is updated in place (both residual adds).
+// is [n, hidden] and is updated in place (both residual adds). shared
+// is the layer's shared weight region (SharedFloats long — or longer;
+// a full layer region works too since the shared tensors are its
+// prefix); expert blocks come from the expertSource one at a time.
 //
 // Execution is expert-grouped: the whole group is routed first, token
 // indices are bucketed by chosen expert, and each expert with work runs
@@ -63,7 +90,7 @@ func preAttention(layout Layout, layer []float32, x tensor.Mat, positions []int,
 // It returns the expert indices chosen per token (in routing order) for
 // routing statistics; the slices are backed by scratch and only valid
 // until the next call.
-func postAttention(layout Layout, layer []float32, attnOut, x tensor.Mat, scratch *ffnScratch) [][]int {
+func postAttention(layout Layout, shared []float32, experts expertSource, attnOut, x tensor.Mat, scratch *ffnScratch) [][]int {
 	cfg := layout.cfg
 	n := x.Rows
 	if n > scratch.maxN {
@@ -73,19 +100,19 @@ func postAttention(layout Layout, layer []float32, attnOut, x tensor.Mat, scratc
 
 	// O projection + residual, one GEMM for the whole group.
 	proj := tensor.FromSlice(n, h, scratch.proj[:n*h])
-	tensor.MatMulTParallel(proj, attnOut, layout.Wo(layer))
+	tensor.MatMulTParallel(proj, attnOut, layout.Wo(shared))
 	for i := 0; i < n; i++ {
 		tensor.Add(x.Row(i), x.Row(i), proj.Row(i))
 	}
 
 	// FFN norm + batched router logits.
 	normed := scratch.normedView(n)
-	norm := layout.FFNNorm(layer)
+	norm := layout.FFNNorm(shared)
 	for i := 0; i < n; i++ {
 		tensor.RMSNorm(normed.Row(i), x.Row(i), norm, 1e-5)
 	}
 	logits := tensor.FromSlice(n, cfg.Experts, scratch.logits[:n*cfg.Experts])
-	tensor.MatMulTParallel(logits, normed, layout.Router(layer))
+	tensor.MatMulTParallel(logits, normed, layout.Router(shared))
 
 	// Route every token, then bucket token indices by chosen expert.
 	// The gate weight softmax runs over the top-k logits in routing
@@ -125,7 +152,7 @@ func postAttention(layout Layout, layer []float32, attnOut, x tensor.Mat, scratc
 		for r, t := range toks {
 			copy(xe.Row(r), normed.Row(t))
 		}
-		gate, up, down := layout.Expert(layer, e)
+		gate, up, down := experts.Acquire(e)
 		gateAct := tensor.FromSlice(ne, h2, scratch.gateAct[:ne*h2])
 		upAct := tensor.FromSlice(ne, h2, scratch.upAct[:ne*h2])
 		tensor.MatMulTParallel(gateAct, xe, gate)
@@ -133,6 +160,7 @@ func postAttention(layout Layout, layer []float32, attnOut, x tensor.Mat, scratc
 		tensor.SiLUMul(gateAct.Data, gateAct.Data, upAct.Data)
 		expProj := tensor.FromSlice(ne, h, scratch.expProj[:ne*h])
 		tensor.MatMulTParallel(expProj, gateAct, down)
+		experts.Release(e)
 		weights := scratch.bucketW[e]
 		for r, t := range toks {
 			tensor.Axpy(weights[r], expProj.Row(r), ffnOut.Row(t))

@@ -36,7 +36,7 @@ func TestPostAttentionBatchMatchesPerToken(t *testing.T) {
 		}
 		xBatch := x.Clone()
 		batchScratch := newFFNScratch(layout, n)
-		chosenBatch := postAttention(layout, layer, attn, xBatch, batchScratch)
+		chosenBatch := postAttention(layout, layer, residentExperts{layout: layout, data: layer}, attn, xBatch, batchScratch)
 		// Copy before the next call reuses the scratch.
 		gotChosen := make([][]int, n)
 		for i, c := range chosenBatch {
@@ -47,7 +47,7 @@ func TestPostAttentionBatchMatchesPerToken(t *testing.T) {
 		for i := 0; i < n; i++ {
 			xi := tensor.FromSlice(1, cfg.Hidden, append([]float32(nil), x.Row(i)...))
 			ai := tensor.FromSlice(1, cfg.QDim(), attn.Row(i))
-			chosen := postAttention(layout, layer, ai, xi, tokScratch)
+			chosen := postAttention(layout, layer, residentExperts{layout: layout, data: layer}, ai, xi, tokScratch)
 			for j := range xi.Data {
 				if xi.Data[j] != xBatch.At(i, j) {
 					t.Fatalf("n=%d token %d dim %d: batch %v != per-token %v (must be bit-identical)",

@@ -42,7 +42,7 @@ func BenchmarkKernelsExpertFFN(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(x.Data, pristine)
-		postAttention(layout, layer, attn, x, scratch)
+		postAttention(layout, layer, residentExperts{layout: layout, data: layer}, attn, x, scratch)
 	}
 }
 
@@ -55,7 +55,7 @@ func BenchmarkKernelsExpertFFNSeedScalar(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(x.Data, pristine)
-		seedPostAttention(layout, layer, attn, x, scratch)
+		seedPostAttention(layout, layer, residentExperts{layout: layout, data: layer}, attn, x, scratch)
 	}
 }
 
@@ -72,11 +72,15 @@ func benchModel() model.Config {
 }
 
 // benchDecodeStep times steady-state CGOPipe decode steps (prefill and
-// the LM head excluded) over a 64-sequence batch in two micro-batches.
-func benchDecodeStep(b *testing.B, seed bool, dtype kvcache.DType) {
+// the LM head excluded) over seqs sequences in seqs/mu micro-batches.
+// residencyBytes sizes the expert-weight resident set (0 = the default
+// two-layer working set); decode-phase expert paging traffic is
+// reported as MiB/step so cold-vs-warm comparisons can attribute the
+// ms/step gap to weight movement.
+func benchDecodeStep(b *testing.B, seed bool, dtype kvcache.DType, residencyBytes, seqs, mu int) {
 	b.Helper()
 	cfg := benchModel()
-	const seqs, mu, steps, promptLen = 64, 32, 8, 4
+	const steps, promptLen = 8, 4
 	cpuA := memory.NewArena("cpu", 1<<22)
 	w, err := NewRandomWeights(cpuA, cfg, 1)
 	if err != nil {
@@ -88,14 +92,15 @@ func benchDecodeStep(b *testing.B, seed bool, dtype kvcache.DType) {
 	}
 	prompts := PromptsFromRequests(reqs, cfg.VocabSize)
 
+	var decodeFetched int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		gpu := memory.NewArena("gpu", 1<<22)
-		pinned := memory.NewArena("pinned", 1<<22)
+		gpu := memory.NewArena("gpu", 1<<23)
+		pinned := memory.NewArena("pinned", 1<<23)
 		cacheArena := memory.NewArena("cache", 1<<22)
 		pl, err := NewPipeline(w, gpu, pinned, cacheArena, seqs,
-			Config{MicroBatch: mu, MaxContext: 64, KVDtype: dtype})
+			Config{MicroBatch: mu, MaxContext: 64, KVDtype: dtype, ExpertResidencyBytes: residencyBytes})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,9 +110,10 @@ func benchDecodeStep(b *testing.B, seed bool, dtype kvcache.DType) {
 		if err := pl.prefill(prompts); err != nil {
 			b.Fatal(err)
 		}
-		if err := pl.loadLayerSync(0, 0); err != nil {
+		if err := stageLayer(pl, 0); err != nil {
 			b.Fatal(err)
 		}
+		base := pl.Counters.ExpertPaging.BytesFetched.Load()
 		b.StartTimer()
 		for t := 0; t < steps; t++ {
 			if err := pl.decodeStep(t); err != nil {
@@ -116,23 +122,25 @@ func benchDecodeStep(b *testing.B, seed bool, dtype kvcache.DType) {
 		}
 		b.StopTimer()
 		pl.Close()
+		decodeFetched += pl.Counters.ExpertPaging.BytesFetched.Load() - base
 		b.StartTimer()
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*steps)/1e6, "ms/step")
 	b.ReportMetric(float64(seqs*steps*b.N)/b.Elapsed().Seconds(), "tok/s")
+	b.ReportMetric(float64(decodeFetched)/float64(b.N*steps)/(1<<20), "pagedMiB/step")
 }
 
 // BenchmarkDecodeStep is the optimized engine: expert-grouped batched
 // GEMMs, pooled buffers, parallel kernels.
 func BenchmarkDecodeStep(b *testing.B) {
-	benchDecodeStep(b, false, kvcache.F32)
+	benchDecodeStep(b, false, kvcache.F32, 0, 64, 32)
 }
 
 // BenchmarkDecodeStepSeedScalar swaps the seed scalar kernels into the
 // same pipeline; the ratio of the two ms/step metrics is the kernel
 // rewrite's speedup.
 func BenchmarkDecodeStepSeedScalar(b *testing.B) {
-	benchDecodeStep(b, true, kvcache.F32)
+	benchDecodeStep(b, true, kvcache.F32, 0, 64, 32)
 }
 
 // BenchmarkDecodeStepQuantKV runs the same decode steps over an Int8
@@ -140,5 +148,25 @@ func BenchmarkDecodeStepSeedScalar(b *testing.B) {
 // Compare ms/step against BenchmarkDecodeStep for the codec's compute
 // cost — the win it buys is 2x+ context per cache byte, not speed.
 func BenchmarkDecodeStepQuantKV(b *testing.B) {
-	benchDecodeStep(b, false, kvcache.Int8)
+	benchDecodeStep(b, false, kvcache.Int8, 0, 64, 32)
+}
+
+// BenchmarkDecodeStepColdExperts squeezes the expert resident set to a
+// single block, so every expert activation is a demand miss fetched
+// synchronously on the GPU lane. The cold/warm pair decodes a small
+// 8-sequence batch — the memory-bound decode regime expert paging
+// exists for, where a fetched block amortizes over ~4 tokens instead
+// of ~32 and weight movement is a first-order cost. Compare ms/step
+// and pagedMiB/step against BenchmarkDecodeStepWarmExperts: the time
+// gap is the movement the pager normally hides.
+func BenchmarkDecodeStepColdExperts(b *testing.B) {
+	benchDecodeStep(b, false, kvcache.F32, 1, 8, 4)
+}
+
+// BenchmarkDecodeStepWarmExperts gives the pager room for every expert
+// block in the model over the same small batch, so after the first pass
+// through the layers decode runs fully warm-resident with zero paging
+// traffic.
+func BenchmarkDecodeStepWarmExperts(b *testing.B) {
+	benchDecodeStep(b, false, kvcache.F32, 1<<30, 8, 4)
 }

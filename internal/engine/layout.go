@@ -55,6 +55,47 @@ func (l Layout) LayerFloats() int { return l.total }
 // pre-attention needs (norm + QKV projections).
 func (l Layout) AttnFloats() int { return l.wo }
 
+// SharedFloats is the prefix of the region every token touches
+// regardless of routing — norms, Q/K/V/O projections and the router.
+// The expert FFN blocks after it are paged per expert, so only this
+// prefix still moves through the whole-layer double buffer.
+func (l Layout) SharedFloats() int { return l.expertBase }
+
+// ExpertFloats is the flat size of one expert's gate+up+down block —
+// the granule of expert-weight paging.
+func (l Layout) ExpertFloats() int { return l.expertSize }
+
+// ExpertBounds returns the [lo, hi) float range of expert e's block
+// within a full layer region, for carving pager source slices.
+func (l Layout) ExpertBounds(e int) (lo, hi int) {
+	if e < 0 || e >= l.cfg.Experts {
+		panic(fmt.Sprintf("engine: expert %d out of %d", e, l.cfg.Experts))
+	}
+	lo = l.expertBase + e*l.expertSize
+	return lo, lo + l.expertSize
+}
+
+// ResidencySlots converts an ExpertResidencyBytes budget into a pager
+// slot count. A non-positive budget selects the default of two full
+// layers' expert sets (the computing layer plus a prefetched-ahead
+// one, mirroring the shared region's double buffer); any value is
+// clamped to [1, Layers*Experts] — more slots than the model has
+// expert blocks buys nothing.
+func (l Layout) ResidencySlots(bytes int) int {
+	all := l.cfg.Layers * l.cfg.Experts
+	n := 2 * l.cfg.Experts
+	if bytes > 0 {
+		n = bytes / (4 * l.expertSize)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > all {
+		n = all
+	}
+	return n
+}
+
 // Views over a layer's flat data. Weights are stored transposed
 // ([out, in]) for MatMulT.
 
@@ -96,5 +137,16 @@ func (l Layout) Expert(data []float32, e int) (gate, up, down tensor.Mat) {
 	gate = tensor.FromSlice(h2, h, data[base+l.gate:base+l.up])
 	up = tensor.FromSlice(h2, h, data[base+l.up:base+l.down])
 	down = tensor.FromSlice(h, h2, data[base+l.down:base+l.expertSize])
+	return gate, up, down
+}
+
+// ExpertWeights views a standalone expert block (ExpertFloats long) as
+// its gate, up and down projections — the pager-slot counterpart of
+// Expert, which indexes a full layer region.
+func (l Layout) ExpertWeights(data []float32) (gate, up, down tensor.Mat) {
+	h, h2 := l.cfg.Hidden, l.cfg.Intermediate
+	gate = tensor.FromSlice(h2, h, data[l.gate:l.up])
+	up = tensor.FromSlice(h2, h, data[l.up:l.down])
+	down = tensor.FromSlice(h, h2, data[l.down:l.expertSize])
 	return gate, up, down
 }

@@ -15,8 +15,15 @@ import (
 // Pipeline is the CGOPipe functional engine: decode steps execute
 // Alg. 1 with one worker goroutine per lane (GPU, CPU, HtoD, DtoH, Pin)
 // and channel-carried dependencies. Weights live in the CPU arena and
-// stream through pinned staging into a double-buffered GPU region, page
-// by page; attention runs on the CPU worker against the CPU-resident
+// stream in two granularities: the shared attention/router region of
+// each layer moves through pinned staging into a double-buffered GPU
+// region, page by page, while expert FFN blocks move individually
+// through an ExpertPager that keeps a fixed-byte resident set on the
+// GPU — hot experts stay put across layers and steps, a background
+// prefetcher stages the next layer's predicted experts behind the
+// current layer's GEMMs, and a routed-to expert that missed
+// demand-fetches synchronously (bit-identical output for any residency
+// size). Attention runs on the CPU worker against the CPU-resident
 // paged KV cache; everything else runs on the GPU worker, which only
 // ever reads GPU-arena memory.
 type Pipeline struct {
@@ -28,6 +35,7 @@ type Pipeline struct {
 
 	db      *paging.DoubleBuffer
 	staging *paging.Staging
+	pager   *paging.ExpertPager
 	cache   *kvcache.Cache
 
 	// hidden is the GPU-resident [numSeqs, hidden] state.
@@ -89,6 +97,14 @@ type Pipeline struct {
 	lookahead    int
 	prefillChunk int
 
+	// expSrc adapts the pager to the expertSource the kernels consume,
+	// one real layer at a time. The GPU lane and the single-threaded
+	// prefill are each serial, so one reusable instance suffices.
+	// predBuf and keyBuf are the prefetch-prediction workspaces.
+	expSrc  pagedExperts
+	predBuf []int
+	keyBuf  []paging.ExpertKey
+
 	// kern selects the forward kernels; benchmarks swap in the seed
 	// scalar implementations to measure the optimized paths' speedup.
 	kern kernels
@@ -98,8 +114,8 @@ type Pipeline struct {
 
 // kernels bundles the forward-pass implementations the lane tasks call.
 type kernels struct {
-	preAttn  func(layout Layout, layer []float32, x tensor.Mat, positions []int, qkv []float32, scratch *ffnScratch)
-	postAttn func(layout Layout, layer []float32, attnOut, x tensor.Mat, scratch *ffnScratch) [][]int
+	preAttn  func(layout Layout, shared []float32, x tensor.Mat, positions []int, qkv []float32, scratch *ffnScratch)
+	postAttn func(layout Layout, shared []float32, experts expertSource, attnOut, x tensor.Mat, scratch *ffnScratch) [][]int
 	attend   func(items []tensor.AttnItem, nq, nkv, headDim int)
 }
 
@@ -109,10 +125,19 @@ func defaultKernels() kernels {
 
 // Counters tallies data movement and kernel activity. Movement is
 // counted in bytes, not elements, so the numbers stay truthful when KV
-// rows are int8+scale rather than float32.
+// rows are int8+scale rather than float32. HtoDBytes/PinBytes/
+// PagesMoved cover the scheduled-lane traffic (shared weight pages and
+// attention activations); expert weight blocks move through the pager
+// and are tallied separately in ExpertPaging, whose byte count is
+// deterministic ((Misses+Prefetched) * block bytes) even though the
+// hit/prefetch split depends on prefetch timing.
 type Counters struct {
 	HtoDBytes, DtoHBytes, PinBytes   atomic.Int64
 	PagesMoved, GPUKernels, CPUAttns atomic.Int64
+
+	// ExpertPaging is the expert-weight pager's traffic: warm hits,
+	// demand-fetch misses, prefetches, evictions and bytes fetched.
+	ExpertPaging paging.Stats
 }
 
 // floatBytes converts a float32 element count to bytes for the
@@ -146,6 +171,14 @@ type Config struct {
 	// reads each token's own cached prefix, so the output is
 	// bit-identical for any chunk size.
 	PrefillChunk int
+	// ExpertResidencyBytes caps the GPU-resident expert-weight pool:
+	// the pager keeps this many bytes of expert FFN blocks resident
+	// (rounded down to whole blocks, minimum one). <= 0 selects two
+	// layers' expert sets — the computing layer plus a prefetched-ahead
+	// one. Output is bit-identical for ANY value: a routed-to expert
+	// that is not resident demand-fetches synchronously, so a small
+	// budget only costs time, never correctness.
+	ExpertResidencyBytes int
 }
 
 // DefaultPrefillChunk is the prefill token budget used when
@@ -177,7 +210,10 @@ func NewPipeline(w *Weights, gpu, pinned, cacheArena *memory.Arena, numSeqs int,
 		nb = (numSeqs + cfg.MicroBatch - 1) / cfg.MicroBatch
 	}
 
-	table, err := paging.NewPageTable(layout.LayerFloats(), nb)
+	// The double buffer and staging carry only the shared
+	// attention/router prefix of each layer; expert FFN blocks page
+	// individually through the ExpertPager below.
+	table, err := paging.NewPageTable(layout.SharedFloats(), nb)
 	if err != nil {
 		return nil, err
 	}
@@ -297,6 +333,19 @@ func NewPipeline(w *Weights, gpu, pinned, cacheArena *memory.Arena, numSeqs int,
 		p.ExpertLoad[i] = make([]int64, w.Cfg.Experts)
 	}
 
+	slots := layout.ResidencySlots(cfg.ExpertResidencyBytes)
+	p.pager, err = paging.NewExpertPager(gpu, pinned, layout.ExpertFloats(), slots,
+		func(k paging.ExpertKey) memory.Region {
+			lo, hi := layout.ExpertBounds(k.Expert)
+			return w.Layers[k.Layer].Slice(lo, hi)
+		}, &p.Counters.ExpertPaging)
+	if err != nil {
+		return nil, err
+	}
+	p.expSrc = pagedExperts{p: p}
+	p.predBuf = make([]int, 0, w.Cfg.Experts)
+	p.keyBuf = make([]paging.ExpertKey, 0, w.Cfg.Experts)
+
 	p.lanes = newLaneSet()
 	p.lookahead = cfg.Lookahead
 	p.prefillChunk = cfg.PrefillChunk
@@ -309,11 +358,12 @@ func NewPipeline(w *Weights, gpu, pinned, cacheArena *memory.Arena, numSeqs int,
 // MicroBatches returns the micro-batch partition (sequence indices).
 func (p *Pipeline) MicroBatches() [][]int { return p.mbs }
 
-// Close shuts the worker goroutines down. The pipeline is unusable
-// afterwards.
+// Close shuts the worker goroutines down (the five lanes and the
+// expert prefetcher). The pipeline is unusable afterwards.
 func (p *Pipeline) Close() {
 	if !p.closed {
 		p.lanes.close()
+		p.pager.Close()
 		p.closed = true
 	}
 }

@@ -3,10 +3,12 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"moelightning/internal/kvcache"
 	"moelightning/internal/memory"
+	"moelightning/internal/paging"
 	"moelightning/internal/tensor"
 )
 
@@ -75,8 +77,10 @@ func (p *Pipeline) GenerateStream(prompts [][]int, genLen int, sink StepSink, st
 		return out, nil
 	}
 
-	// Preload layer 0 into GPU slot 0 before the first decode step.
-	if err := p.loadLayerSync(0, 0); err != nil {
+	// Preload layer 0 before the first decode step: the shared region
+	// lands synchronously in GPU slot 0 and layer 0's predicted experts
+	// (hot from prefill's router statistics) go to the prefetcher.
+	if err := p.primeLayer(0); err != nil {
 		return nil, err
 	}
 
@@ -216,6 +220,14 @@ func (p *Pipeline) decodeStep(step int) error {
 		mb := p.mbs[j-1]
 		jj := j - 1
 		pre[g] = mk("pre", l, j, func() error {
+			if jj == 0 {
+				// First micro-batch of a layer: hand the next layer's
+				// predicted experts to the prefetcher so their fetches
+				// overlap this layer's compute (the last layer wraps to
+				// layer 0 for the next step). Runs on the GPU lane, the
+				// sole writer of the router statistics it reads.
+				p.prefetchExperts(p.realLayer(v + 1))
+			}
 			p.Counters.GPUKernels.Add(1)
 			return p.runPreAttn(v, jj, mb, positions)
 		})
@@ -245,7 +257,6 @@ func (p *Pipeline) decodeStep(step int) error {
 		for pg := 0; pg < nb; pg++ {
 			vv, pp := v+1, pg
 			pagesT[l][pg] = mk("page", vv, pp, func() error {
-				p.Counters.PagesMoved.Add(1)
 				return p.runPage(vv, pp)
 			})
 			pinsT[l][pg] = mk("pin", vv, pp, func() error {
@@ -344,7 +355,7 @@ func (p *Pipeline) runPreAttn(v, j int, mb []int, positions []int) error {
 	if n == 0 {
 		return nil // every sequence of this micro-batch was retired
 	}
-	layer := p.db.Slot(v).Data()
+	shared := p.db.Slot(v).Data()
 	cfg := p.w.Cfg
 	q, kv := cfg.QDim(), cfg.KVDim()
 	qkv := p.qkvGPU[j].Data()[:n*(q+2*kv)]
@@ -354,7 +365,7 @@ func (p *Pipeline) runPreAttn(v, j int, mb []int, positions []int) error {
 		copy(x.Row(i), p.hidden.Row(s))
 		pos[i] = positions[s]
 	}
-	p.kern.preAttn(p.layout, layer, x, pos, qkv, p.scratch)
+	p.kern.preAttn(p.layout, shared, x, pos, qkv, p.scratch)
 	return nil
 }
 
@@ -423,20 +434,23 @@ func (p *Pipeline) scoresFor(i, ctx int) []float32 {
 }
 
 // runPostAttn executes O projection + MoE FFN for micro-batch j and
-// writes the updated hidden states back.
+// writes the updated hidden states back. The shared region comes from
+// the double buffer; expert blocks come from the pager, which
+// demand-fetches any miss synchronously so routing is always honored.
 func (p *Pipeline) runPostAttn(layer, v, j int, mb []int) error {
 	n := len(mb)
 	if n == 0 {
 		return nil
 	}
 	cfg := p.w.Cfg
-	data := p.db.Slot(v).Data()
+	shared := p.db.Slot(v).Data()
 	attn := tensor.FromSlice(n, cfg.QDim(), p.attnGPU[j].Data()[:n*cfg.QDim()])
 	x := tensor.FromSlice(n, cfg.Hidden, p.xPost.Data[:n*cfg.Hidden])
 	for i, s := range mb {
 		copy(x.Row(i), p.hidden.Row(s))
 	}
-	chosen := p.kern.postAttn(p.layout, data, attn, x, p.scratch)
+	p.expSrc.layer = layer
+	chosen := p.kern.postAttn(p.layout, shared, &p.expSrc, attn, x, p.scratch)
 	for i, s := range mb {
 		// A sequence that exhausted the KV pool earlier this step
 		// carries stale attention rows: don't let them touch the hidden
@@ -466,12 +480,15 @@ func (p *Pipeline) runPin(v, pg int) error {
 }
 
 // runPage ships page pg of virtual layer v from pinned staging into the
-// GPU double buffer.
+// GPU double buffer. Every shipped page counts toward PagesMoved here,
+// so the async decode path and the synchronous loads agree on page
+// accounting.
 func (p *Pipeline) runPage(v, pg int) error {
 	src := p.staging.PageRegion(v, pg)
 	dst := p.db.PageRegion(v, pg)
 	memory.Copy(dst, src)
 	p.Counters.HtoDBytes.Add(floatBytes(dst.Len()))
+	p.Counters.PagesMoved.Add(1)
 	return nil
 }
 
@@ -480,17 +497,85 @@ func (p *Pipeline) realLayer(v int) int {
 	return v % p.w.Cfg.Layers
 }
 
-// loadLayerSync copies a whole layer into the double buffer through
-// staging, synchronously (setup and prefill use it).
-func (p *Pipeline) loadLayerSync(layer, v int) error {
+// loadSharedSync copies virtual layer v's shared region into the double
+// buffer through staging, synchronously, via the same runPin/runPage
+// steps the decode lanes schedule (setup and prefill use it).
+func (p *Pipeline) loadSharedSync(v int) error {
 	table := p.db.Table()
 	for pg := 0; pg < table.NumPages; pg++ {
-		lo, hi := table.PageBounds(pg)
-		memory.Copy(p.staging.PageRegion(v, pg), p.w.Layers[layer].Slice(lo, hi))
-		memory.Copy(p.db.PageRegion(v, pg), p.staging.PageRegion(v, pg))
-		p.Counters.PinBytes.Add(floatBytes(hi - lo))
-		p.Counters.HtoDBytes.Add(floatBytes(hi - lo))
-		p.Counters.PagesMoved.Add(1)
+		if err := p.runPin(v, pg); err != nil {
+			return err
+		}
+		if err := p.runPage(v, pg); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// primeLayer stages virtual layer v the way the engine does between
+// phases: the shared region lands synchronously and the layer's
+// predicted expert set goes to the prefetcher. GenerateStream's preload
+// and the benchmark baselines share this path.
+func (p *Pipeline) primeLayer(v int) error {
+	if err := p.loadSharedSync(v); err != nil {
+		return err
+	}
+	p.prefetchExperts(p.realLayer(v))
+	return nil
+}
+
+// pagedExperts adapts the expert pager to the expertSource interface
+// postAttention consumes, for one real layer at a time.
+type pagedExperts struct {
+	p     *Pipeline
+	layer int
+}
+
+func (s *pagedExperts) Acquire(e int) (gate, up, down tensor.Mat) {
+	block := s.p.pager.Acquire(paging.ExpertKey{Layer: s.layer, Expert: e})
+	return s.p.layout.ExpertWeights(block)
+}
+
+func (s *pagedExperts) Release(e int) {
+	s.p.pager.Release(paging.ExpertKey{Layer: s.layer, Expert: e})
+}
+
+// predictExperts returns up to n expert ids of real layer `layer`,
+// most-frequently-routed first per the cumulative router statistics
+// (ties and the cold start resolve to ascending id). The returned slice
+// is p.predBuf; callers don't retain it.
+func (p *Pipeline) predictExperts(layer, n int) []int {
+	load := p.ExpertLoad[layer]
+	ids := p.predBuf[:0]
+	for e := range load {
+		ids = append(ids, e)
+	}
+	sort.SliceStable(ids, func(i, j int) bool { return load[ids[i]] > load[ids[j]] })
+	if n < len(ids) {
+		ids = ids[:n]
+	}
+	p.predBuf = ids
+	return ids
+}
+
+// prefetchExperts hands real layer `layer`'s predicted expert set to
+// the pager's background worker: up to half the residency pool, so
+// prefetches for the next layer never crowd out the experts the
+// current layer is still using. Best effort — dropped requests are
+// covered by the demand-fetch fallback.
+func (p *Pipeline) prefetchExperts(layer int) {
+	n := p.pager.Slots() / 2
+	if n < 1 {
+		n = 1
+	}
+	if n > p.w.Cfg.Experts {
+		n = p.w.Cfg.Experts
+	}
+	keys := p.keyBuf[:0]
+	for _, e := range p.predictExperts(layer, n) {
+		keys = append(keys, paging.ExpertKey{Layer: layer, Expert: e})
+	}
+	p.keyBuf = keys
+	p.pager.Prefetch(keys...)
 }

@@ -18,9 +18,11 @@ type prefillSpan struct {
 }
 
 // prefill runs the prompt phase layer-by-layer (the zigzag order of
-// §4) as a wave-packed pass: each layer's weights stream into the
-// double buffer once, and the WHOLE wave's prompt tokens flow through
-// it together. Per layer the live tokens are packed — in PrefillChunk-
+// §4) as a wave-packed pass: each layer's shared attention/router
+// region streams into the double buffer once (expert blocks page
+// individually, the next layer's predicted set prefetching behind the
+// current layer's GEMMs), and the WHOLE wave's prompt tokens flow
+// through it together. Per layer the live tokens are packed — in PrefillChunk-
 // sized token-budget slices, so scratch is bounded by the chunk rather
 // than the wave — and each chunk issues exactly one preAttn QKV GEMM
 // batch over [chunkTokens, hidden] (per-token positions replace the
@@ -109,11 +111,21 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 		}
 	}
 
+	// Warm the pager for layer 0 (no router statistics yet: id order).
+	p.prefetchExperts(0)
+
 	for l := 0; l < cfg.Layers; l++ {
-		if err := p.loadLayerSync(l, l); err != nil {
+		if err := p.loadSharedSync(l); err != nil {
 			return err
 		}
-		layer := p.db.Slot(l).Data()
+		// Hand the next layer's predicted experts to the prefetcher
+		// before this layer's chunks start computing, so the fetches
+		// overlap the chunk GEMMs instead of serializing after them.
+		if l+1 < cfg.Layers {
+			p.prefetchExperts(l + 1)
+		}
+		shared := p.db.Slot(l).Data()
+		p.expSrc.layer = l
 		for lo := 0; lo < total; lo += chunk {
 			hi := lo + chunk
 			if hi > total {
@@ -170,7 +182,7 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 				rows = tensor.FromSlice(m, cfg.Hidden, xPack.Data[:m*cfg.Hidden])
 			}
 			qkv := qkvBuf[:m*(q+2*kv)]
-			p.kern.preAttn(layout, layer, rows, positions[:m], qkv, scratch)
+			p.kern.preAttn(layout, shared, rows, positions[:m], qkv, scratch)
 			p.Counters.GPUKernels.Add(1) // the packed QKV launch
 			queries, keys, values := qkvViews(qkv, m, q, kv)
 
@@ -244,7 +256,7 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 			// ride along (row independence keeps the survivors bit-exact)
 			// but are neither scattered back nor counted.
 			arows := tensor.FromSlice(m, q, attnOut.Data[:m*q])
-			chosen := p.kern.postAttn(layout, layer, arows, rows, scratch)
+			chosen := p.kern.postAttn(layout, shared, &p.expSrc, arows, rows, scratch)
 			for _, sp := range spans {
 				if p.seqErr[sp.seq] != nil {
 					continue

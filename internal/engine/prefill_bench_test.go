@@ -56,10 +56,11 @@ func seqPrefill(p *Pipeline, prompts [][]int) error {
 	}
 
 	for l := 0; l < cfg.Layers; l++ {
-		if err := p.loadLayerSync(l, l); err != nil {
+		if err := stageLayer(p, l); err != nil {
 			return err
 		}
-		layer := p.db.Slot(l).Data()
+		shared := p.db.Slot(l).Data()
+		p.expSrc.layer = l
 		for s, prompt := range prompts {
 			if p.seqErr[s] != nil {
 				continue
@@ -67,7 +68,7 @@ func seqPrefill(p *Pipeline, prompts [][]int) error {
 			n := len(prompt)
 			rows := tensor.FromSlice(n, cfg.Hidden, x.Data[rowOf[s]*cfg.Hidden:(rowOf[s]+n)*cfg.Hidden])
 			qkv := qkvBuf[:n*(q+2*kv)]
-			p.kern.preAttn(layout, layer, rows, positions[:n], qkv, scratch)
+			p.kern.preAttn(layout, shared, rows, positions[:n], qkv, scratch)
 			queries, keys, values := qkvViews(qkv, n, q, kv)
 			arows := tensor.FromSlice(n, q, attnOut.Data[:n*q])
 
@@ -92,7 +93,7 @@ func seqPrefill(p *Pipeline, prompts [][]int) error {
 			} else {
 				tensor.AttendCausal(arows, queries, keys, values, cfg.QHeads, cfg.KVHeads, cfg.HeadDim)
 			}
-			chosen := p.kern.postAttn(layout, layer, arows, rows, scratch)
+			chosen := p.kern.postAttn(layout, shared, &p.expSrc, arows, rows, scratch)
 			for _, experts := range chosen {
 				for _, e := range experts {
 					p.ExpertLoad[l][e]++

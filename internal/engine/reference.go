@@ -160,7 +160,7 @@ func (r *Reference) step(s, token int) error {
 			tensor.AttendOneBlocks(r.attnOut.Row(0), Q.Row(0), keys, values,
 				cfg.QHeads, cfg.KVHeads, cfg.HeadDim, r.scores[:ctx])
 		}
-		chosen := postAttention(layout, layer, r.attnOut, xm, r.scratch)
+		chosen := postAttention(layout, layer, residentExperts{layout: layout, data: layer}, r.attnOut, xm, r.scratch)
 		for _, e := range chosen[0] {
 			r.ExpertLoad[l][e]++
 		}

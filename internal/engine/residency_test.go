@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"moelightning/internal/kvcache"
+	"moelightning/internal/memory"
+	"moelightning/internal/model"
+)
+
+// TestPipelineBitIdenticalAcrossResidency is the expert pager's core
+// guarantee: for ANY resident-set size — one lone slot (every acquire
+// beyond the first expert of a layer is a forced demand miss), a few
+// blocks, the default two-layer working set, or the whole model — the
+// pipeline's tokens and routing match the sequential reference exactly,
+// under both the f32 and the int8 KV codec. Residency only moves
+// traffic between the hit and miss counters; it must never touch
+// values.
+func TestPipelineBitIdenticalAcrossResidency(t *testing.T) {
+	cfg := model.Tiny()
+	cpu := memory.NewArena("cpu", 1<<22)
+	w, err := NewRandomWeights(cpu, cfg, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seqs, mu, gen = 4, 2, 5
+	prompts := testPrompts(seqs, 3, 7, cfg.VocabSize)
+	layout := NewLayout(cfg)
+	blockBytes := 4 * layout.ExpertFloats()
+
+	for _, dtype := range []kvcache.DType{kvcache.F32, kvcache.Int8} {
+		ref, err := NewReferenceKV(w, memory.NewArena("rc", 1<<22), seqs, 64, dtype)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Generate(prompts, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, tc := range []struct {
+			name           string
+			residencyBytes int
+			wantSlots      int
+		}{
+			{"one-slot", 1, 1},
+			{"three-slots", 3 * blockBytes, 3},
+			{"default", 0, layout.ResidencySlots(0)},
+			{"all-experts", 1 << 30, cfg.Layers * cfg.Experts},
+		} {
+			t.Run(fmt.Sprintf("%v/%s", dtype, tc.name), func(t *testing.T) {
+				gpu := memory.NewArena("gpu", 1<<22)
+				pinned := memory.NewArena("pinned", 1<<22)
+				cacheArena := memory.NewArena("cache", 1<<22)
+				pl, err := NewPipeline(w, gpu, pinned, cacheArena, seqs,
+					Config{MicroBatch: mu, MaxContext: 64, KVDtype: dtype,
+						ExpertResidencyBytes: tc.residencyBytes})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer pl.Close()
+				if got := pl.pager.Slots(); got != tc.wantSlots {
+					t.Fatalf("residency %d bytes -> %d slots, want %d", tc.residencyBytes, got, tc.wantSlots)
+				}
+				got, err := pl.Generate(prompts, gen)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("tokens diverge from reference at residency %q:\n got %v\nwant %v",
+						tc.name, got, want)
+				}
+				if !reflect.DeepEqual(pl.ExpertLoad, ref.ExpertLoad) {
+					t.Fatalf("routing diverges from reference at residency %q", tc.name)
+				}
+				if tc.wantSlots == 1 && pl.Counters.ExpertPaging.Misses.Load() == 0 {
+					t.Fatal("one-slot residency must force demand misses")
+				}
+			})
+		}
+	}
+}

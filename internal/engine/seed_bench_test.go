@@ -110,11 +110,11 @@ func seedPreAttention(layout Layout, layer []float32, x tensor.Mat, positions []
 	}
 }
 
-func seedPostAttention(layout Layout, layer []float32, attnOut, x tensor.Mat, scratch *seedScratch) [][]int {
+func seedPostAttention(layout Layout, shared []float32, experts expertSource, attnOut, x tensor.Mat, scratch *seedScratch) [][]int {
 	cfg := layout.cfg
-	wo := layout.Wo(layer)
-	router := layout.Router(layer)
-	norm := layout.FFNNorm(layer)
+	wo := layout.Wo(shared)
+	router := layout.Router(shared)
+	norm := layout.FFNNorm(shared)
 	chosen := make([][]int, x.Rows)
 
 	for i := 0; i < x.Rows; i++ {
@@ -143,7 +143,7 @@ func seedPostAttention(layout Layout, layer []float32, attnOut, x tensor.Mat, sc
 			scratch.ffnOut[j] = 0
 		}
 		for j, e := range topk {
-			gate, up, down := layout.Expert(layer, e)
+			gate, up, down := experts.Acquire(e)
 			seedMatMulT(tensor.FromSlice(1, cfg.Intermediate, scratch.gateAct), nm, gate)
 			seedMatMulT(tensor.FromSlice(1, cfg.Intermediate, scratch.upAct), nm, up)
 			tensor.SiLU(scratch.gateAct)
@@ -152,6 +152,7 @@ func seedPostAttention(layout Layout, layer []float32, attnOut, x tensor.Mat, sc
 			}
 			seedMatMulT(tensor.FromSlice(1, cfg.Hidden, scratch.proj),
 				tensor.FromSlice(1, cfg.Intermediate, scratch.gateAct), down)
+			experts.Release(e)
 			tensor.Axpy(sel[j], scratch.proj, scratch.ffnOut)
 		}
 		tensor.Add(x.Row(i), x.Row(i), scratch.ffnOut)
@@ -190,11 +191,11 @@ func seedAttend(items []tensor.AttnItem, nq, nkv, headDim int) {
 func newSeedKernels(layout Layout) kernels {
 	scratch := newSeedScratch(layout)
 	return kernels{
-		preAttn: func(layout Layout, layer []float32, x tensor.Mat, positions []int, qkv []float32, _ *ffnScratch) {
-			seedPreAttention(layout, layer, x, positions, qkv)
+		preAttn: func(layout Layout, shared []float32, x tensor.Mat, positions []int, qkv []float32, _ *ffnScratch) {
+			seedPreAttention(layout, shared, x, positions, qkv)
 		},
-		postAttn: func(layout Layout, layer []float32, attnOut, x tensor.Mat, _ *ffnScratch) [][]int {
-			return seedPostAttention(layout, layer, attnOut, x, scratch)
+		postAttn: func(layout Layout, shared []float32, experts expertSource, attnOut, x tensor.Mat, _ *ffnScratch) [][]int {
+			return seedPostAttention(layout, shared, experts, attnOut, x, scratch)
 		},
 		attend: seedAttend,
 	}

@@ -42,6 +42,10 @@ type ServeConfig struct {
 	// batch in prompt tokens (Config.PrefillChunk; <= 0 selects the
 	// engine default).
 	PrefillChunk int
+	// ExpertResidencyBytes caps every wave pipeline's GPU-resident
+	// expert-weight pool (Config.ExpertResidencyBytes; <= 0 selects two
+	// layers' expert sets). Output is bit-identical for any value.
+	ExpertResidencyBytes int
 }
 
 // ServeResult is the outcome of serving a queue.
@@ -60,6 +64,12 @@ type ServeResult struct {
 	PrefillTokensPerSecond float64
 	// Data-movement totals across all waves (bytes / pages).
 	HtoDBytes, DtoHBytes, PagesMoved int64
+	// Expert weight-paging totals across all waves: bytes of expert
+	// blocks fetched into the residency pool, and the warm-hit/miss
+	// split of expert acquisitions (misses demand-fetched on the
+	// critical path).
+	WeightBytesFetched       int64
+	ExpertHits, ExpertMisses int64
 }
 
 // Serve drains a closed request queue through successive pipeline
@@ -96,5 +106,8 @@ func Serve(w *Weights, gpu, pinned, cacheArena *memory.Arena, queue []workload.R
 	res.HtoDBytes = st.HtoDBytes
 	res.DtoHBytes = st.DtoHBytes
 	res.PagesMoved = st.PagesMoved
+	res.WeightBytesFetched = st.WeightBytesFetched
+	res.ExpertHits = st.ExpertHits
+	res.ExpertMisses = st.ExpertMisses
 	return res, closeErr
 }

@@ -173,6 +173,11 @@ type ServerStats struct {
 	TokensPerSecond float64
 	// Data-movement totals across all waves (bytes / pages).
 	HtoDBytes, DtoHBytes, PagesMoved int64
+	// Expert weight-paging totals across all waves: bytes of expert
+	// blocks fetched into the residency pool, and the warm-hit/miss
+	// split of expert acquisitions.
+	WeightBytesFetched       int64
+	ExpertHits, ExpertMisses int64
 }
 
 // Server is the long-lived serving engine: weights and arenas are built
@@ -207,6 +212,7 @@ type serverAccum struct {
 	ttftN, tpotN                           int
 	busy                                   time.Duration
 	htod, dtoh, pages                      int64
+	weightBytes, expHits, expMisses        int64
 }
 
 // batchConfig builds the Alg. 2 configuration for a server: the KV
@@ -330,6 +336,8 @@ func (s *Server) Stats() ServerStats {
 		GeneratedTokens: a.tokens,
 		PrefillTokens:   a.prefillTokens,
 		HtoDBytes:       a.htod, DtoHBytes: a.dtoh, PagesMoved: a.pages,
+		WeightBytesFetched: a.weightBytes,
+		ExpertHits:         a.expHits, ExpertMisses: a.expMisses,
 	}
 	if a.prefillTime > 0 {
 		st.PrefillTokensPerSecond = float64(a.prefillTokens) / a.prefillTime.Seconds()
@@ -504,11 +512,12 @@ func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([
 	s.pinned.Reset()
 	s.cache.Reset()
 	pl, err := NewPipeline(s.w, s.gpu, s.pinned, s.cache, len(wave), Config{
-		MaxContext:   s.cfg.MaxContext,
-		Lookahead:    s.cfg.Lookahead,
-		Partition:    partition,
-		KVDtype:      s.cfg.KVDtype,
-		PrefillChunk: s.cfg.PrefillChunk,
+		MaxContext:           s.cfg.MaxContext,
+		Lookahead:            s.cfg.Lookahead,
+		Partition:            partition,
+		KVDtype:              s.cfg.KVDtype,
+		PrefillChunk:         s.cfg.PrefillChunk,
+		ExpertResidencyBytes: s.cfg.ExpertResidencyBytes,
 	})
 	if err != nil {
 		werr := fmt.Errorf("engine: wave %d: %w", waveNum, err)
@@ -522,14 +531,17 @@ func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([
 		return h.canceled() || emitted >= h.genLen
 	}
 	tokens, gerr := pl.GenerateStream(prompts, s.cfg.GenLen, sink, stop)
+	pl.Close() // drains the lanes and the expert prefetcher first, so the counters below are final
 	s.mu.Lock()
 	s.stats.htod += pl.Counters.HtoDBytes.Load()
 	s.stats.dtoh += pl.Counters.DtoHBytes.Load()
 	s.stats.pages += pl.Counters.PagesMoved.Load()
+	s.stats.weightBytes += pl.Counters.ExpertPaging.BytesFetched.Load()
+	s.stats.expHits += pl.Counters.ExpertPaging.Hits.Load()
+	s.stats.expMisses += pl.Counters.ExpertPaging.Misses.Load()
 	s.stats.prefillTokens += pl.PrefillTokens
 	s.stats.prefillTime += pl.PrefillDuration
 	s.mu.Unlock()
-	pl.Close()
 	if gerr != nil {
 		werr := fmt.Errorf("engine: wave %d: %w", waveNum, gerr)
 		s.failAll(wave, werr)

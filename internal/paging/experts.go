@@ -1,0 +1,300 @@
+package paging
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"moelightning/internal/memory"
+)
+
+// ExpertKey identifies one expert FFN weight block: expert Expert of
+// model layer Layer. The pager keys on real layers, so a block fetched
+// during one decode step stays warm for every later step (and every
+// other micro-batch) that routes to it.
+type ExpertKey struct {
+	Layer, Expert int
+}
+
+// Stats counts expert-pager traffic. The engine embeds it in its
+// Counters block and hands the pager a pointer, so pager activity shows
+// up next to the page/byte counters tests and serving stats already
+// read.
+type Stats struct {
+	// Hits counts Acquires served from the resident set — including
+	// blocks whose prefetch was still in flight (the fetch was already
+	// off the critical path when the kernel asked). Misses counts
+	// Acquires that found nothing and demand-fetched synchronously.
+	Hits, Misses atomic.Int64
+	// Prefetched counts blocks the background worker fetched; Evicted
+	// counts resident blocks displaced to make room.
+	Prefetched, Evicted atomic.Int64
+	// BytesFetched is the fast-memory weight traffic of every block
+	// fetch, demand or prefetch (each block moves CPU -> pinned -> fast
+	// memory once per fetch; the bytes are counted once).
+	BytesFetched atomic.Int64
+}
+
+// Source resolves a key to the block's CPU home region. It must be safe
+// to call from the prefetch worker concurrently with compute.
+type Source func(k ExpertKey) memory.Region
+
+// expertEntry is the pager's bookkeeping for one resident (or loading)
+// block.
+type expertEntry struct {
+	slot    int
+	loading bool
+	ready   chan struct{} // closed once the slot holds the block
+	refs    int           // pins by in-flight kernels
+	freq    int64         // lifetime acquire count (frequency)
+	tick    int64         // last-touch tick (recency)
+}
+
+// ExpertPager keeps a fixed-size resident set of expert weight blocks
+// in fast memory: Acquire pins a block (demand-fetching synchronously
+// on a miss, so callers always get correct data — a small residency
+// only ever costs time), Release unpins it, and Prefetch hands keys to
+// a persistent background worker that stages them through pinned memory
+// while compute runs. Eviction is LRU with a frequency bonus: among
+// unpinned resident blocks the victim minimizes last-touch tick plus
+// lifetime acquire count, so recency dominates (a just-prefetched block
+// that has not been used yet is never the victim while older layers'
+// blocks remain) while each reuse extends a hot expert's lifetime.
+type ExpertPager struct {
+	floats  int
+	src     Source
+	stats   *Stats
+	slots   []memory.Region // fast-memory residency slots
+	staging []memory.Region // pinned staging, one per slot: a slot is
+	// only ever filled by the single fetch that claimed it, so
+	// per-slot staging makes demand fetches and prefetches race-free
+	// without sharing.
+
+	mu      sync.Mutex
+	entries map[ExpertKey]*expertEntry
+	free    []int
+	tick    int64
+
+	prefetchCh chan ExpertKey
+	closeOnce  sync.Once
+	wg         sync.WaitGroup
+}
+
+// NewExpertPager carves numSlots expert-sized slots (plus matching
+// pinned staging) out of the arenas and starts the prefetch worker.
+// stats may be nil.
+func NewExpertPager(fast, pinned *memory.Arena, expertFloats, numSlots int, src Source, stats *Stats) (*ExpertPager, error) {
+	if expertFloats <= 0 || numSlots <= 0 {
+		return nil, fmt.Errorf("paging: invalid expert pager %d floats / %d slots", expertFloats, numSlots)
+	}
+	if stats == nil {
+		stats = &Stats{}
+	}
+	p := &ExpertPager{
+		floats:     expertFloats,
+		src:        src,
+		stats:      stats,
+		entries:    make(map[ExpertKey]*expertEntry, numSlots),
+		prefetchCh: make(chan ExpertKey, 1024),
+	}
+	for i := 0; i < numSlots; i++ {
+		r, err := fast.Alloc(expertFloats)
+		if err != nil {
+			return nil, fmt.Errorf("paging: expert slot %d: %w", i, err)
+		}
+		st, err := pinned.Alloc(expertFloats)
+		if err != nil {
+			return nil, fmt.Errorf("paging: expert staging %d: %w", i, err)
+		}
+		p.slots = append(p.slots, r)
+		p.staging = append(p.staging, st)
+		p.free = append(p.free, i)
+	}
+	p.wg.Add(1)
+	go p.worker()
+	return p, nil
+}
+
+// Slots returns the residency pool size in blocks.
+func (p *ExpertPager) Slots() int { return len(p.slots) }
+
+// BlockFloats returns the per-block size in floats.
+func (p *ExpertPager) BlockFloats() int { return p.floats }
+
+// Close stops the prefetch worker. Pending prefetch requests complete
+// first; the pager is unusable afterwards.
+func (p *ExpertPager) Close() {
+	p.closeOnce.Do(func() {
+		close(p.prefetchCh)
+		p.wg.Wait()
+	})
+}
+
+// Acquire returns expert k's weight block in fast memory, pinned
+// against eviction until the matching Release. A resident (or
+// in-flight) block is a warm hit; a cold block demand-fetches
+// synchronously on the calling goroutine — the fallback that keeps
+// output bit-identical for any residency size.
+func (p *ExpertPager) Acquire(k ExpertKey) []float32 {
+	p.mu.Lock()
+	p.tick++
+	for {
+		if e, ok := p.entries[k]; ok {
+			e.refs++
+			e.freq++
+			e.tick = p.tick
+			slot, loading, ready := e.slot, e.loading, e.ready
+			p.stats.Hits.Add(1)
+			p.mu.Unlock()
+			if loading {
+				<-ready
+			}
+			return p.slots[slot].Data()
+		}
+		slot, ok := p.takeSlotLocked()
+		if !ok {
+			// Every slot is pinned or mid-fetch. Wait for any in-flight
+			// fetch to land (its entry then becomes evictable) and retry.
+			ch := p.anyLoadingLocked()
+			p.mu.Unlock()
+			if ch == nil {
+				panic("paging: expert pager wedged: every slot is pinned")
+			}
+			<-ch
+			p.mu.Lock()
+			continue
+		}
+		e := &expertEntry{slot: slot, loading: true, ready: make(chan struct{}), refs: 1, freq: 1, tick: p.tick}
+		p.entries[k] = e
+		p.stats.Misses.Add(1)
+		p.mu.Unlock()
+
+		p.fetch(k, slot)
+
+		p.mu.Lock()
+		e.loading = false
+		close(e.ready)
+		p.mu.Unlock()
+		return p.slots[slot].Data()
+	}
+}
+
+// Release unpins a block acquired with Acquire.
+func (p *ExpertPager) Release(k ExpertKey) {
+	p.mu.Lock()
+	if e, ok := p.entries[k]; ok && e.refs > 0 {
+		e.refs--
+	}
+	p.mu.Unlock()
+}
+
+// Resident reports whether k currently occupies a slot with its data
+// fully landed (for tests and introspection).
+func (p *ExpertPager) Resident(k ExpertKey) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[k]
+	return ok && !e.loading
+}
+
+// Prefetch hands keys to the background worker, best effort: keys
+// already resident or in flight are skipped there, and requests are
+// dropped rather than ever blocking the caller when the queue is full.
+func (p *ExpertPager) Prefetch(keys ...ExpertKey) {
+	for _, k := range keys {
+		select {
+		case p.prefetchCh <- k:
+		default:
+			return
+		}
+	}
+}
+
+// worker is the persistent prefetch goroutine (the pool.go idiom:
+// spawned once, blocks on a channel, no goroutine per request). Each
+// request claims a slot under the lock, then copies outside it, so
+// fetches overlap whatever compute is running.
+func (p *ExpertPager) worker() {
+	defer p.wg.Done()
+	for k := range p.prefetchCh {
+		p.mu.Lock()
+		if _, ok := p.entries[k]; ok {
+			p.mu.Unlock()
+			continue // already resident or in flight
+		}
+		p.tick++
+		slot, ok := p.takeSlotLocked()
+		if !ok {
+			p.mu.Unlock()
+			continue // nothing evictable right now; a miss will cover it
+		}
+		e := &expertEntry{slot: slot, loading: true, ready: make(chan struct{}), freq: 1, tick: p.tick}
+		p.entries[k] = e
+		p.mu.Unlock()
+
+		p.fetch(k, slot)
+		p.stats.Prefetched.Add(1)
+
+		p.mu.Lock()
+		e.loading = false
+		close(e.ready)
+		p.mu.Unlock()
+	}
+}
+
+// fetch stages block k into slot through the slot's pinned staging.
+// The slot was claimed by this fetch alone, so no lock is held across
+// the copies.
+func (p *ExpertPager) fetch(k ExpertKey, slot int) {
+	memory.Copy(p.staging[slot], p.src(k))
+	memory.Copy(p.slots[slot], p.staging[slot])
+	p.stats.BytesFetched.Add(4 * int64(p.floats))
+}
+
+// takeSlotLocked claims a slot: a free one if any, else the unpinned
+// resident block minimizing tick+freq is evicted — LRU ordering, with
+// every past acquire buying the block one tick of extra lifetime (ties
+// broken by key order so behavior is reproducible). Returns false when
+// every slot is pinned or loading.
+func (p *ExpertPager) takeSlotLocked() (int, bool) {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		return s, true
+	}
+	var victimKey ExpertKey
+	var victim *expertEntry
+	var best int64
+	for k, e := range p.entries {
+		if e.refs > 0 || e.loading {
+			continue
+		}
+		score := e.tick + e.freq
+		if victim == nil || score < best || (score == best && keyLess(k, victimKey)) {
+			victim, victimKey, best = e, k, score
+		}
+	}
+	if victim == nil {
+		return 0, false
+	}
+	delete(p.entries, victimKey)
+	p.stats.Evicted.Add(1)
+	return victim.slot, true
+}
+
+// anyLoadingLocked returns the ready channel of any in-flight fetch.
+func (p *ExpertPager) anyLoadingLocked() chan struct{} {
+	for _, e := range p.entries {
+		if e.loading {
+			return e.ready
+		}
+	}
+	return nil
+}
+
+func keyLess(a, b ExpertKey) bool {
+	if a.Layer != b.Layer {
+		return a.Layer < b.Layer
+	}
+	return a.Expert < b.Expert
+}

@@ -1,0 +1,226 @@
+package paging
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"moelightning/internal/memory"
+)
+
+// testSource builds a CPU home for nLayers x nExperts blocks of size
+// floats, each filled with a per-key signature so any fetch's payload
+// identifies which block it came from.
+func testSource(t testing.TB, nLayers, nExperts, floats int) Source {
+	t.Helper()
+	cpu := memory.NewArena("cpu", nLayers*nExperts*floats)
+	homes := make(map[ExpertKey]memory.Region, nLayers*nExperts)
+	for l := 0; l < nLayers; l++ {
+		for e := 0; e < nExperts; e++ {
+			r, err := cpu.Alloc(floats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, d := 0, r.Data(); i < floats; i++ {
+				d[i] = signature(ExpertKey{Layer: l, Expert: e}, i)
+			}
+			homes[ExpertKey{Layer: l, Expert: e}] = r
+		}
+	}
+	return func(k ExpertKey) memory.Region { return homes[k] }
+}
+
+func signature(k ExpertKey, i int) float32 {
+	return float32(k.Layer*1000+k.Expert*10) + float32(i%7)
+}
+
+func checkBlock(t *testing.T, k ExpertKey, data []float32) {
+	t.Helper()
+	for i, v := range data {
+		if v != signature(k, i) {
+			t.Fatalf("block %v byte %d: got %v, want %v", k, i, v, signature(k, i))
+		}
+	}
+}
+
+func newTestPager(t testing.TB, floats, slots int, src Source, stats *Stats) *ExpertPager {
+	t.Helper()
+	fast := memory.NewArena("fast", slots*floats)
+	pinned := memory.NewArena("pinned", slots*floats)
+	p, err := NewExpertPager(fast, pinned, floats, slots, src, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestExpertPagerDemandFetchThenHit(t *testing.T) {
+	var stats Stats
+	src := testSource(t, 2, 4, 32)
+	p := newTestPager(t, 32, 3, src, &stats)
+
+	k := ExpertKey{Layer: 1, Expert: 2}
+	checkBlock(t, k, p.Acquire(k))
+	p.Release(k)
+	if got := stats.Misses.Load(); got != 1 {
+		t.Fatalf("misses = %d, want 1", got)
+	}
+	checkBlock(t, k, p.Acquire(k))
+	p.Release(k)
+	if got := stats.Hits.Load(); got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+	if got, want := stats.BytesFetched.Load(), int64(4*32); got != want {
+		t.Fatalf("bytes fetched = %d, want %d (one block)", got, want)
+	}
+}
+
+func TestExpertPagerEvictsColdKeepsHot(t *testing.T) {
+	var stats Stats
+	src := testSource(t, 1, 8, 16)
+	p := newTestPager(t, 16, 2, src, &stats)
+
+	hot := ExpertKey{Expert: 0}
+	// Make hot genuinely hot: three acquires.
+	for i := 0; i < 3; i++ {
+		checkBlock(t, hot, p.Acquire(hot))
+		p.Release(hot)
+	}
+	cold := ExpertKey{Expert: 1}
+	checkBlock(t, cold, p.Acquire(cold))
+	p.Release(cold)
+
+	// A third block must evict, and the victim must be the cold one.
+	third := ExpertKey{Expert: 2}
+	checkBlock(t, third, p.Acquire(third))
+	p.Release(third)
+	if stats.Evicted.Load() != 1 {
+		t.Fatalf("evicted = %d, want 1", stats.Evicted.Load())
+	}
+	if !p.Resident(hot) {
+		t.Fatal("hot block was evicted before the cold one")
+	}
+	if p.Resident(cold) {
+		t.Fatal("cold block survived over the hot one")
+	}
+	// The evicted block is still correct when it comes back (demand path).
+	checkBlock(t, cold, p.Acquire(cold))
+	p.Release(cold)
+}
+
+func TestExpertPagerPinnedBlocksSurviveEviction(t *testing.T) {
+	src := testSource(t, 1, 8, 16)
+	p := newTestPager(t, 16, 2, src, nil)
+
+	pinnedKey := ExpertKey{Expert: 0}
+	data := p.Acquire(pinnedKey) // hold the pin across churn
+
+	// Churn the other slot through several blocks; the pinned block's
+	// slot must never be reused while the ref is held.
+	for e := 1; e < 6; e++ {
+		k := ExpertKey{Expert: e}
+		checkBlock(t, k, p.Acquire(k))
+		p.Release(k)
+		checkBlock(t, pinnedKey, data)
+	}
+	p.Release(pinnedKey)
+}
+
+func TestExpertPagerPrefetchBecomesHit(t *testing.T) {
+	var stats Stats
+	src := testSource(t, 2, 4, 64)
+	p := newTestPager(t, 64, 4, src, &stats)
+
+	keys := []ExpertKey{{Layer: 0, Expert: 0}, {Layer: 0, Expert: 3}, {Layer: 1, Expert: 1}}
+	p.Prefetch(keys...)
+	deadline := time.Now().Add(5 * time.Second)
+	for _, k := range keys {
+		for !p.Resident(k) {
+			if time.Now().After(deadline) {
+				t.Fatalf("prefetch of %v never landed", k)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if got := stats.Prefetched.Load(); got != int64(len(keys)) {
+		t.Fatalf("prefetched = %d, want %d", got, len(keys))
+	}
+	for _, k := range keys {
+		checkBlock(t, k, p.Acquire(k))
+		p.Release(k)
+	}
+	if got := stats.Misses.Load(); got != 0 {
+		t.Fatalf("misses = %d, want 0: prefetched blocks must hit", got)
+	}
+	if got, want := stats.BytesFetched.Load(), int64(4*64*len(keys)); got != want {
+		t.Fatalf("bytes fetched = %d, want %d", got, want)
+	}
+}
+
+// TestExpertPagerConcurrent hammers Acquire/Release/Prefetch from many
+// goroutines over a pool much smaller than the key space; run under
+// -race this is the pager's central correctness test — every Acquire
+// must return that key's bytes no matter what eviction and prefetch are
+// doing around it.
+func TestExpertPagerConcurrent(t *testing.T) {
+	var stats Stats
+	const nLayers, nExperts, floats, slots = 4, 8, 32, 4
+	src := testSource(t, nLayers, nExperts, floats)
+	p := newTestPager(t, floats, slots, src, &stats)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 300; i++ {
+				k := ExpertKey{Layer: rng.Intn(nLayers), Expert: rng.Intn(nExperts)}
+				if rng.Intn(4) == 0 {
+					p.Prefetch(ExpertKey{Layer: rng.Intn(nLayers), Expert: rng.Intn(nExperts)})
+				}
+				data := p.Acquire(k)
+				for j, v := range data {
+					if v != signature(k, j) {
+						select {
+						case errs <- "corrupt block under concurrency":
+						default:
+						}
+						break
+					}
+				}
+				p.Release(k)
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+
+	p.Close() // drain the worker so the byte invariant is final
+	fetched := stats.Misses.Load() + stats.Prefetched.Load()
+	if got, want := stats.BytesFetched.Load(), 4*int64(floats)*fetched; got != want {
+		t.Fatalf("bytes fetched = %d, want %d (%d fetches)", got, want, fetched)
+	}
+}
+
+func TestExpertPagerRejectsBadConfig(t *testing.T) {
+	fast := memory.NewArena("fast", 64)
+	pinned := memory.NewArena("pinned", 64)
+	src := func(ExpertKey) memory.Region { panic("unused") }
+	if _, err := NewExpertPager(fast, pinned, 0, 2, src, nil); err == nil {
+		t.Error("want error for zero block size")
+	}
+	if _, err := NewExpertPager(fast, pinned, 16, 0, src, nil); err == nil {
+		t.Error("want error for zero slots")
+	}
+	if _, err := NewExpertPager(fast, pinned, 64, 2, src, nil); err == nil {
+		t.Error("want arena exhaustion error")
+	}
+}

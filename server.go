@@ -96,6 +96,12 @@ type ServerConfig struct {
 	// PrefillChunk bounds the wave-packed prefill's per-layer packed
 	// batch in prompt tokens (<= 0 selects the engine default).
 	PrefillChunk int
+	// ExpertResidencyBytes caps the GPU-resident expert-weight pool the
+	// engine's pager keeps warm (rounded down to whole expert blocks,
+	// minimum one; <= 0 selects two layers' expert sets). Any value is
+	// safe: a routed-to expert that is not resident demand-fetches
+	// synchronously, so a small budget costs time, never correctness.
+	ExpertResidencyBytes int
 }
 
 func (c *ServerConfig) defaults() {
@@ -147,12 +153,20 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if vocab <= 0 {
 		vocab = cfg.Model.VocabSize
 	}
-	layerFloats := engine.NewLayout(cfg.Model).LayerFloats()
+	layout := engine.NewLayout(cfg.Model)
+	layerFloats := layout.LayerFloats()
+	// The GPU/pinned arenas hold the double-buffered shared region, the
+	// expert residency pool (and its per-slot pinned staging), and the
+	// per-micro-batch transfer buffers; 2*layerFloats covers the first
+	// two at the default residency, and the slot term covers any larger
+	// ExpertResidencyBytes the caller configures.
+	residencyFloats := layout.ResidencySlots(cfg.ExpertResidencyBytes) * layout.ExpertFloats()
+	weightArena := 2*layerFloats + residencyFloats + 4<<20
 	waveSeqs := cfg.MicroBatchSize * cfg.NumMicroBatches
 	cacheCap := 2*waveSeqs*cfg.MaxContext*cfg.Model.KVDim()*2 + 4<<20
 	cpu := memory.NewArena("cpu", cfg.Model.Layers*layerFloats+4<<20)
-	gpu := memory.NewArena("gpu", 2*layerFloats+4<<20)
-	pinned := memory.NewArena("pinned", 2*layerFloats+4<<20)
+	gpu := memory.NewArena("gpu", weightArena)
+	pinned := memory.NewArena("pinned", weightArena)
 	cacheArena := memory.NewArena("kvcache", cacheCap)
 
 	w, err := engine.NewRandomWeights(cpu, cfg.Model, cfg.Seed)
@@ -160,16 +174,17 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	eng, err := engine.NewServer(w, gpu, pinned, cacheArena, engine.ServeConfig{
-		NumMicroBatches:    cfg.NumMicroBatches,
-		MicroBatchSize:     cfg.MicroBatchSize,
-		GenLen:             cfg.GenLen,
-		CacheTokens:        cfg.CacheTokens,
-		MaxContext:         cfg.MaxContext,
-		Lookahead:          cfg.Lookahead,
-		Vocab:              vocab,
-		HonorRequestGenLen: !cfg.FixedGenLen,
-		KVDtype:            cfg.KVDtype,
-		PrefillChunk:       cfg.PrefillChunk,
+		NumMicroBatches:      cfg.NumMicroBatches,
+		MicroBatchSize:       cfg.MicroBatchSize,
+		GenLen:               cfg.GenLen,
+		CacheTokens:          cfg.CacheTokens,
+		MaxContext:           cfg.MaxContext,
+		Lookahead:            cfg.Lookahead,
+		Vocab:                vocab,
+		HonorRequestGenLen:   !cfg.FixedGenLen,
+		KVDtype:              cfg.KVDtype,
+		PrefillChunk:         cfg.PrefillChunk,
+		ExpertResidencyBytes: cfg.ExpertResidencyBytes,
 	})
 	if err != nil {
 		return nil, err
