@@ -5,10 +5,16 @@
 //	moebench -exp fig7 [-settings S1,S2] [-gens 32,64,128,256]
 //	moebench -exp tab4 | tab5 | fig1 | fig4 | fig5 | fig6 | fig8 | fig9 | fig10
 //	moebench -exp serve   (streaming-server demo on the functional engine)
+//	moebench -exp slo     (open-loop traffic + SLO sweep -> BENCH_serve.json)
 //	moebench -exp all
 //
 // Each experiment prints the same rows/series the paper reports; see
-// EXPERIMENTS.md for the paper-vs-measured record.
+// EXPERIMENTS.md for the paper-vs-measured record. -exp slo drives the
+// live server with seeded Poisson and bursty arrival traces at several
+// load multiples, reports p50/p95/p99 TTFT/TPOT and goodput under
+// per-cohort SLOs, finds the saturation knee, and writes the standing
+// BENCH_serve.json (-json overrides the path; -exp serve also honors
+// -json for a machine-readable result).
 package main
 
 import (
@@ -18,17 +24,25 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"moelightning"
 	"moelightning/internal/experiments"
 	"moelightning/internal/metrics"
+	"moelightning/internal/traffic"
+	"moelightning/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,tab4,tab5,disk,quant,sparsity,latency,serve,all")
+	exp := flag.String("exp", "all", "experiment id: fig1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,tab4,tab5,disk,quant,sparsity,latency,serve,slo,all")
 	settings := flag.String("settings", "S1,S2,S6,S7", "comma-separated settings for fig7")
 	gens := flag.String("gens", "32,64,128,256", "comma-separated generation lengths")
-	kvdtype := flag.String("kvdtype", "f32", "KV cache codec for -exp serve: f32 or int8")
+	kvdtype := flag.String("kvdtype", "f32", "KV cache codec for -exp serve/slo: f32 or int8")
+	jsonPath := flag.String("json", "", "write a machine-readable result here (serve; slo defaults to BENCH_serve.json)")
+	rps := flag.Float64("rps", 12, "base arrival rate for -exp slo scenarios")
+	requests := flag.Int("requests", 36, "requests per sweep point for -exp slo")
+	sweep := flag.String("sweep", "0.5,1,2", "comma-separated arrival-rate multiples for the -exp slo saturation sweep")
+	seed := flag.Int64("seed", 2024, "trace seed for -exp slo")
 	flag.Parse()
 
 	kvDtype, err := moelightning.ParseKVDtype(*kvdtype)
@@ -41,6 +55,10 @@ func main() {
 		fatal(err)
 	}
 	settingNames := strings.Split(*settings, ",")
+	sweepScales, err := parseFloats(*sweep)
+	if err != nil {
+		fatal(err)
+	}
 
 	run := func(id string) error {
 		switch id {
@@ -98,7 +116,13 @@ func main() {
 			}
 			fmt.Print(experiments.RenderKVSparsity(rows))
 		case "serve":
-			return runServe(kvDtype)
+			return runServe(kvDtype, *jsonPath)
+		case "slo":
+			path := *jsonPath
+			if path == "" {
+				path = "BENCH_serve.json"
+			}
+			return runSLO(kvDtype, *rps, *requests, sweepScales, *seed, path)
 		case "tab4":
 			rows, err := experiments.Table4()
 			if err != nil {
@@ -141,7 +165,7 @@ func main() {
 // mid-generation cancellation, and TTFT/TPOT serving metrics.
 // -kvdtype int8 serves the same waves over the group-quantized paged
 // cache (~9/32 the KV footprint).
-func runServe(kvDtype moelightning.KVDtype) error {
+func runServe(kvDtype moelightning.KVDtype, jsonPath string) error {
 	const genLen = 8
 	srv, err := moelightning.NewServer(moelightning.ServerConfig{
 		Model:   moelightning.TinyMoE(),
@@ -196,7 +220,142 @@ func runServe(kvDtype moelightning.KVDtype) error {
 	fmt.Printf("movement: HtoD %.1f MiB, DtoH %.1f MiB, %d shared pages; expert weights %.1f MiB fetched, warm-hit %.0f%% (%d hits / %d misses)\n",
 		float64(st.HtoDBytes)/(1<<20), float64(st.DtoHBytes)/(1<<20), st.PagesMoved,
 		float64(st.WeightBytesFetched)/(1<<20), warmHit, st.ExpertHits, st.ExpertMisses)
+	if jsonPath != "" {
+		out := serveJSON{
+			Schema:          "moelightning/serve-demo/v1",
+			KVDtype:         kvDtype.String(),
+			Waves:           st.Waves,
+			Deferred:        st.Deferred,
+			Completed:       st.Completed,
+			Canceled:        st.Canceled,
+			GeneratedTokens: st.GeneratedTokens,
+			TokensPerSec:    st.TokensPerSecond,
+			PrefillTokens:   st.PrefillTokens,
+			PrefillPerSec:   st.PrefillTokensPerSecond,
+			TTFT:            traffic.DurationsMS(st.AvgTTFT, st.TTFTP50, st.TTFTP95, st.TTFTP99),
+			TPOT:            traffic.DurationsMS(st.AvgTPOT, st.TPOTP50, st.TPOTP95, st.TPOTP99),
+		}
+		if err := traffic.WriteJSON(jsonPath, out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
 	return nil
+}
+
+// serveJSON is -exp serve's machine-readable result (-json), sharing
+// the slo experiment's latency summary and writer.
+type serveJSON struct {
+	Schema          string            `json:"schema"`
+	KVDtype         string            `json:"kv_dtype"`
+	Waves           int               `json:"waves"`
+	Deferred        int               `json:"deferred"`
+	Completed       int               `json:"completed"`
+	Canceled        int               `json:"canceled"`
+	GeneratedTokens int               `json:"generated_tokens"`
+	TokensPerSec    float64           `json:"tokens_per_sec"`
+	PrefillTokens   int               `json:"prefill_tokens"`
+	PrefillPerSec   float64           `json:"prefill_tokens_per_sec"`
+	TTFT            traffic.LatencyMS `json:"ttft_ms"`
+	TPOT            traffic.LatencyMS `json:"tpot_ms"`
+}
+
+// runSLO is the standing serve benchmark: seeded open-loop scenarios
+// (steady Poisson chat+agentic, bursty four-cohort mix) played in real
+// time against a live SLO-aware tiny server at several arrival-rate
+// multiples. Each sweep point reports goodput under the per-cohort SLOs
+// and TTFT/TPOT percentiles; the knee marks where extra offered load
+// stops buying goodput. The whole result lands in BENCH_serve.json.
+func runSLO(kvDtype moelightning.KVDtype, rps float64, requests int, scales []float64, seed int64, jsonPath string) error {
+	if len(scales) < 3 {
+		return fmt.Errorf("slo: need >= 3 sweep scales, got %v", scales)
+	}
+	const genLen = 10
+	factory := func(scale float64) (traffic.ServerHooks, error) {
+		srv, err := moelightning.NewServer(moelightning.ServerConfig{
+			Model:      moelightning.TinyMoE(),
+			Seed:       seed,
+			GenLen:     genLen,
+			MaxContext: 64,
+			KVDtype:    kvDtype,
+			SLOAware:   true,
+		})
+		if err != nil {
+			return traffic.ServerHooks{}, err
+		}
+		return traffic.ServerHooks{
+			Submit: func(req workload.Request, slo traffic.SLO) (*moelightning.Handle, error) {
+				return srv.SubmitSLO(context.Background(), req, slo)
+			},
+			Stats: srv.Stats,
+			Close: srv.Close,
+		}, nil
+	}
+
+	scenarios := []traffic.Scenario{
+		traffic.PoissonChat(rps, requests),
+		traffic.BurstyMix(rps, requests),
+	}
+	bench := traffic.BenchResult{
+		Schema:        traffic.BenchSchema,
+		GeneratedUnix: time.Now().Unix(),
+		Model:         moelightning.TinyMoE().Name,
+		KVDtype:       kvDtype.String(),
+		Admission:     string(traffic.PolicySlack),
+		Seed:          seed,
+	}
+	for _, scn := range scenarios {
+		points, err := traffic.Sweep(factory, scn, seed, scales, traffic.RunConfig{})
+		if err != nil {
+			return err
+		}
+		knee := traffic.FindKnee(points)
+		table := &metrics.Table{Header: []string{
+			"scale", "offered rps", "goodput rps", "slo met", "ttft p50/p95/p99 ms", "tpot p95 ms", "deferred", "knee"}}
+		for i, p := range points {
+			mark := ""
+			if i == knee {
+				mark = "<-- knee"
+			}
+			table.Add(
+				fmt.Sprintf("%.2g", p.Scale),
+				fmt.Sprintf("%.1f", p.OfferedRPS),
+				fmt.Sprintf("%.1f", p.GoodputRPS),
+				fmt.Sprintf("%d/%d", p.SLOMet, p.SLORequests),
+				fmt.Sprintf("%.1f/%.1f/%.1f", p.TTFT.P50, p.TTFT.P95, p.TTFT.P99),
+				fmt.Sprintf("%.1f", p.TPOT.P95),
+				p.Deferred, mark)
+		}
+		fmt.Printf("-- %s (%s) --\n%s", scn.Name, scn.Arrival.Name(), table.String())
+		bench.Scenarios = append(bench.Scenarios, traffic.BenchScenario{
+			Name:             scn.Name,
+			Arrival:          scn.Arrival.Name(),
+			RequestsPerPoint: requests,
+			Points:           points,
+			Knee:             knee,
+		})
+	}
+	if err := traffic.WriteBench(jsonPath, bench); err != nil {
+		return err
+	}
+	// Read back through the validator so a malformed write fails loudly.
+	if _, err := traffic.ReadBench(jsonPath); err != nil {
+		return fmt.Errorf("slo: %s failed validation after write: %w", jsonPath, err)
+	}
+	fmt.Printf("wrote %s (%d scenarios, %d-point sweep)\n", jsonPath, len(bench.Scenarios), len(scales))
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func parseInts(s string) ([]int, error) {

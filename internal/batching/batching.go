@@ -81,6 +81,30 @@ func (m MicroBatch) Tokens(genLen int) int {
 // micro-batches and the requests deferred to the next round. The input
 // queue is not modified.
 func Batch(queue []workload.Request, cfg Config) (batches []MicroBatch, aborted []workload.Request, err error) {
+	sorted := append([]workload.Request(nil), queue...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].PromptLen > sorted[j].PromptLen // descending (l.4)
+	})
+	return batchInOrder(sorted, cfg)
+}
+
+// BatchOrdered runs the Alg. 2 placement loop over the queue in the
+// caller's order instead of sorting by prompt length: the first request
+// is placed (or aborted) first, the second next, and so on. This is the
+// SLO-aware admission entry point — the engine orders the queue by
+// deadline slack (most urgent first) so that when capacity runs out it
+// is the slack-rich requests that defer, at the cost of the
+// length-sorted ordering's tighter token balance. Capacity semantics
+// (least-loaded partition, byte- or token-budget check) are identical
+// to Batch.
+func BatchOrdered(queue []workload.Request, cfg Config) (batches []MicroBatch, aborted []workload.Request, err error) {
+	return batchInOrder(queue, cfg)
+}
+
+// batchInOrder is the shared Alg. 2 placement loop: deal requests, in
+// the order given, to the least-loaded open partition under the
+// capacity budget.
+func batchInOrder(queue []workload.Request, cfg Config) (batches []MicroBatch, aborted []workload.Request, err error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -93,12 +117,7 @@ func Batch(queue []workload.Request, cfg Config) (batches []MicroBatch, aborted 
 		live = append(live, i)
 	}
 
-	sorted := append([]workload.Request(nil), queue...)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		return sorted[i].PromptLen > sorted[j].PromptLen // descending (l.4)
-	})
-
-	for _, req := range sorted {
+	for _, req := range queue {
 		if len(live) == 0 {
 			aborted = append(aborted, req) // l.6-7
 			continue

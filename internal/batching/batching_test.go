@@ -1,6 +1,8 @@
 package batching
 
 import (
+	"reflect"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -233,5 +235,79 @@ func TestBalanceQuality(t *testing.T) {
 func TestSpreadEmpty(t *testing.T) {
 	if Spread(nil) != 0 {
 		t.Error("empty spread")
+	}
+}
+
+// TestBatchOrderedPreservesCallerOrder: the first request in the queue
+// is placed first — no length sort — so the caller's priority order
+// decides who defers when capacity runs out.
+func TestBatchOrderedPreservesCallerOrder(t *testing.T) {
+	// One partition of two slots: the first two queue entries must be
+	// the admitted pair regardless of length.
+	queue := []workload.Request{
+		{ID: 1, PromptLen: 2, GenLen: 2},
+		{ID: 2, PromptLen: 3, GenLen: 2},
+		{ID: 3, PromptLen: 50, GenLen: 2},
+	}
+	cfg := Config{NumMicroBatches: 1, MicroBatchSize: 2, GenLen: 2, CacheTokens: 100}
+	batches, aborted, err := BatchOrdered(queue, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	for _, mb := range batches {
+		for _, r := range mb.Requests {
+			got = append(got, r.ID)
+		}
+	}
+	if !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("admitted %v, want [1 2]", got)
+	}
+	if len(aborted) != 1 || aborted[0].ID != 3 {
+		t.Errorf("aborted %v, want request 3", aborted)
+	}
+	// Batch, by contrast, sorts length-descending and admits the long
+	// request first.
+	batches, _, err = Batch(queue, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches[0].Requests[0].ID != 3 {
+		t.Errorf("Batch should place the longest prompt first, got %d", batches[0].Requests[0].ID)
+	}
+}
+
+// TestBatchOrderedSameCapacitySemantics: for any queue, BatchOrdered
+// admits a set that satisfies the same per-micro-batch size and cache
+// constraints as Batch, and admitted+aborted is a permutation of the
+// input.
+func TestBatchOrderedSameCapacitySemantics(t *testing.T) {
+	requests := workload.MTBench(8).WithRequests(64).Generate(9)
+	cfg := Config{NumMicroBatches: 4, MicroBatchSize: 4, GenLen: 8, CacheTokens: 220}
+	batches, aborted, err := BatchOrdered(requests, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, mb := range batches {
+		if len(mb.Requests) > cfg.MicroBatchSize {
+			t.Fatalf("micro-batch over size: %d", len(mb.Requests))
+		}
+		if mb.Tokens(cfg.GenLen) > cfg.CacheTokens {
+			t.Fatalf("micro-batch over budget: %d tokens", mb.Tokens(cfg.GenLen))
+		}
+		seen += len(mb.Requests)
+	}
+	if seen+len(aborted) != len(requests) {
+		t.Fatalf("admitted %d + aborted %d != %d", seen, len(aborted), len(requests))
+	}
+	// An already length-sorted queue makes BatchOrdered and Batch agree
+	// exactly.
+	sorted := append([]workload.Request(nil), requests...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].PromptLen > sorted[j].PromptLen })
+	a, aAb, _ := BatchOrdered(sorted, cfg)
+	b, bAb, _ := Batch(sorted, cfg)
+	if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(aAb, bAb) {
+		t.Error("BatchOrdered on a length-sorted queue must equal Batch")
 	}
 }

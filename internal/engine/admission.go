@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"sort"
+	"time"
+)
+
+// SLO is a request's latency service-level objective: a time-to-first-
+// token budget measured from submission, and a time-per-output-token
+// budget over the decode steps after the first. A zero field means "no
+// target" for that dimension; the zero SLO opts the request out of SLO
+// accounting entirely.
+type SLO struct {
+	TTFT time.Duration `json:"ttft_ns"`
+	TPOT time.Duration `json:"tpot_ns"`
+}
+
+// IsZero reports whether the SLO carries no targets.
+func (s SLO) IsZero() bool { return s.TTFT == 0 && s.TPOT == 0 }
+
+// DefaultStarvationWaves is how many consecutive deferrals promote a
+// request to the front of the slack-ordered admission queue when
+// ServeConfig.StarvationWaves is unset. Together with BatchOrdered's
+// place-first-request-first behavior it bounds starvation: a request
+// deferred this many times is the first dealt to an empty micro-batch
+// at the next wave boundary, so it is admitted then unless it can fit
+// no micro-batch at all (which fails it outright instead).
+const DefaultStarvationWaves = 3
+
+// AdmissionItem is one candidate in an SLO-aware admission round. The
+// traffic package's virtual-time admission simulator builds the same
+// items from a trace, so simulated wave composition and the live
+// server's agree by construction.
+type AdmissionItem struct {
+	// Submitted is when the request entered the queue.
+	Submitted time.Time
+	// SLO carries the request's latency targets; a zero SLO sorts after
+	// every deadline-bearing request (it has infinite slack).
+	SLO SLO
+	// Deferrals counts how many wave boundaries have already passed the
+	// request over.
+	Deferrals int
+}
+
+// slack is the time remaining until the request's TTFT deadline: the
+// smaller it is (negative = already blown), the more urgent admission
+// is. Requests without a TTFT target report the maximum duration.
+func (it AdmissionItem) slack(now time.Time) time.Duration {
+	if it.SLO.TTFT <= 0 {
+		return time.Duration(1<<63 - 1)
+	}
+	return it.Submitted.Add(it.SLO.TTFT).Sub(now)
+}
+
+// AdmissionOrder returns the deadline-slack admission order as a
+// permutation of item indices, most urgent first:
+//
+//  1. starved requests (Deferrals >= starvationWaves, the bound that
+//     replaces FIFO's implicit fairness), longest-deferred first;
+//  2. everything else by ascending TTFT slack at now — requests without
+//     a TTFT target have infinite slack and sort last, among themselves
+//     in FIFO (submission) order.
+//
+// Ties break by submission time, then by input index, so the order is
+// deterministic for any input.
+func AdmissionOrder(items []AdmissionItem, now time.Time, starvationWaves int) []int {
+	if starvationWaves <= 0 {
+		starvationWaves = DefaultStarvationWaves
+	}
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := items[order[a]], items[order[b]]
+		sa, sb := ia.Deferrals >= starvationWaves, ib.Deferrals >= starvationWaves
+		if sa != sb {
+			return sa
+		}
+		if sa { // both starved: longest wait first
+			if ia.Deferrals != ib.Deferrals {
+				return ia.Deferrals > ib.Deferrals
+			}
+			return ia.Submitted.Before(ib.Submitted)
+		}
+		ka, kb := ia.slack(now), ib.slack(now)
+		if ka != kb {
+			return ka < kb
+		}
+		return ia.Submitted.Before(ib.Submitted)
+	})
+	return order
+}

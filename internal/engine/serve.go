@@ -46,6 +46,18 @@ type ServeConfig struct {
 	// expert-weight pool (Config.ExpertResidencyBytes; <= 0 selects two
 	// layers' expert sets). Output is bit-identical for any value.
 	ExpertResidencyBytes int
+	// SLOAware switches wave-boundary admission from FIFO-with-deferral
+	// to deadline-slack order: at every wave boundary the (deferred +
+	// newly arrived) queue is sorted most-urgent-first (AdmissionOrder)
+	// and placed by batching.BatchOrdered, so when capacity runs out it
+	// is the slack-rich requests that defer. Off, admission is exactly
+	// the classic length-sorted Alg. 2 pass.
+	SLOAware bool
+	// StarvationWaves bounds starvation under SLO-aware admission: a
+	// request deferred this many consecutive wave boundaries jumps to
+	// the front of the admission order (<= 0 selects
+	// DefaultStarvationWaves). Ignored without SLOAware.
+	StarvationWaves int
 }
 
 // ServeResult is the outcome of serving a queue.

@@ -10,6 +10,7 @@ import (
 	"moelightning/internal/batching"
 	"moelightning/internal/kvcache"
 	"moelightning/internal/memory"
+	"moelightning/internal/metrics"
 	"moelightning/internal/workload"
 )
 
@@ -39,20 +40,32 @@ type Handle struct {
 	req    workload.Request
 	cancel <-chan struct{}
 	genLen int // effective generation length for this request
+	slo    SLO
 
-	tokens chan Token
-	done   chan struct{}
+	done chan struct{}
 
 	mu                sync.Mutex
+	tokens            chan Token // lazily allocated; see tokensLocked
 	out               []int
 	err               error
 	deferred          bool
+	deferrals         int
 	finished          bool
 	submitted         time.Time
 	firstTok, lastTok time.Time
 }
 
-func newHandle(req workload.Request, cancel <-chan struct{}, genLen int) *Handle {
+// closedTokens is the shared pre-closed channel handed to consumers of
+// requests that finished before producing a token (canceled while
+// queued, failed at admission): those handles never allocate a
+// generation-length buffer.
+var closedTokens = func() chan Token {
+	ch := make(chan Token)
+	close(ch)
+	return ch
+}()
+
+func newHandle(req workload.Request, cancel <-chan struct{}, genLen int, slo SLO) *Handle {
 	if genLen < 0 {
 		genLen = 0
 	}
@@ -60,7 +73,7 @@ func newHandle(req workload.Request, cancel <-chan struct{}, genLen int) *Handle
 		req:       req,
 		cancel:    cancel,
 		genLen:    genLen,
-		tokens:    make(chan Token, genLen),
+		slo:       slo,
 		done:      make(chan struct{}),
 		submitted: time.Now(),
 	}
@@ -74,10 +87,31 @@ func (h *Handle) ID() int { return h.req.ID }
 
 // Tokens streams generated tokens as their decode steps complete — the
 // first token arrives right after the wave's prefill, long before the
-// wave's final step. The channel is buffered for the full generation
-// length (the engine never blocks on a slow consumer) and is closed when
-// the request finishes.
-func (h *Handle) Tokens() <-chan Token { return h.tokens }
+// wave's final step. The channel is buffered for the request's
+// effective generation length (the engine never blocks on a slow
+// consumer) and is closed when the request finishes. The buffer is
+// allocated on first use: a request that finishes without producing a
+// token — canceled while queued, failed at admission — returns a shared
+// closed channel and never pays for one.
+func (h *Handle) Tokens() <-chan Token {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.tokensLocked()
+}
+
+// tokensLocked returns the token channel, allocating it on demand with
+// capacity for the request's remaining generation (so pushes from the
+// serving goroutine can never block). Callers hold h.mu.
+func (h *Handle) tokensLocked() chan Token {
+	if h.tokens == nil {
+		if h.finished {
+			h.tokens = closedTokens
+		} else {
+			h.tokens = make(chan Token, h.genLen)
+		}
+	}
+	return h.tokens
+}
 
 // Done is closed when the request finishes: completed, canceled or
 // failed.
@@ -117,9 +151,10 @@ func (h *Handle) push(index, id int) {
 		h.firstTok = now
 	}
 	h.lastTok = now
+	ch := h.tokensLocked()
 	h.mu.Unlock()
 	select {
-	case h.tokens <- Token{Index: index, ID: id}:
+	case ch <- Token{Index: index, ID: id}:
 	default: // unreachable: capacity covers the full generation
 	}
 }
@@ -144,8 +179,16 @@ func (h *Handle) finish(err error) {
 	}
 	h.finished = true
 	h.err = err
+	ch := h.tokens
+	if ch == nil {
+		// Never streamed and no consumer asked yet: point Tokens() at the
+		// shared closed channel instead of allocating one to close.
+		h.tokens = closedTokens
+	}
 	h.mu.Unlock()
-	close(h.tokens)
+	if ch != nil {
+		close(ch)
+	}
 	close(h.done)
 }
 
@@ -169,6 +212,23 @@ type ServerStats struct {
 	// AvgTTFT is the mean time from Submit to a request's first token;
 	// AvgTPOT the mean time per output token after the first.
 	AvgTTFT, AvgTPOT time.Duration
+	// Latency percentiles over the same populations as the means, read
+	// from fixed-bucket histograms (metrics.NewLatencyHistogram): time
+	// to first token from Submit, and per-output-token time after the
+	// first.
+	TTFTP50, TTFTP95, TTFTP99 time.Duration
+	TPOTP50, TPOTP95, TPOTP99 time.Duration
+	// SLO accounting over finished requests that carried an SLO
+	// (canceled requests are excluded — the client walked away, the
+	// server neither met nor missed). SLOMet counts requests inside
+	// every stated target; SLOMissTTFT / SLOMissTPOT count the blown
+	// dimension (a request can miss both). A failed SLO request counts
+	// as a TTFT miss: its first token never came.
+	SLORequests, SLOMet      int
+	SLOMissTTFT, SLOMissTPOT int
+	// MaxDeferrals is the most wave boundaries any single request has
+	// been passed over — the observed starvation bound.
+	MaxDeferrals int
 	// TokensPerSecond is generation throughput over busy (in-wave) time.
 	TokensPerSecond float64
 	// Data-movement totals across all waves (bytes / pages).
@@ -210,6 +270,10 @@ type serverAccum struct {
 	prefillTime                            time.Duration
 	ttftSum, tpotSum                       time.Duration
 	ttftN, tpotN                           int
+	ttftHist, tpotHist                     *metrics.Histogram // lazily allocated
+	sloRequests, sloMet                    int
+	sloMissTTFT, sloMissTPOT               int
+	maxDeferrals                           int
 	busy                                   time.Duration
 	htod, dtoh, pages                      int64
 	weightBytes, expHits, expMisses        int64
@@ -272,7 +336,15 @@ func (s *Server) effGenLen(r workload.Request) int {
 // in-flight requests retire at the next decode-step boundary, freeing
 // their KV blocks; either way the handle finishes with ErrCanceled.
 func (s *Server) Submit(req workload.Request, cancel <-chan struct{}) (*Handle, error) {
-	hs, err := s.SubmitBatch([]workload.Request{req}, cancel)
+	return s.SubmitSLO(req, SLO{}, cancel)
+}
+
+// SubmitSLO admits one request carrying a latency SLO: the server
+// counts the request into its SLO-attainment stats, and — when the
+// server runs SLO-aware admission — prioritizes it at wave boundaries
+// by its remaining TTFT slack.
+func (s *Server) SubmitSLO(req workload.Request, slo SLO, cancel <-chan struct{}) (*Handle, error) {
+	hs, err := s.SubmitBatchSLO([]workload.Request{req}, []SLO{slo}, cancel)
 	if err != nil {
 		return nil, err
 	}
@@ -284,12 +356,25 @@ func (s *Server) Submit(req workload.Request, cancel <-chan struct{}) (*Handle, 
 // would (the RunFunctional compatibility wrapper relies on this). The
 // cancel channel, if non-nil, cancels the whole group.
 func (s *Server) SubmitBatch(reqs []workload.Request, cancel <-chan struct{}) ([]*Handle, error) {
+	return s.SubmitBatchSLO(reqs, nil, cancel)
+}
+
+// SubmitBatchSLO is SubmitBatch with a per-request SLO. slos may be nil
+// (no targets) or must match reqs in length.
+func (s *Server) SubmitBatchSLO(reqs []workload.Request, slos []SLO, cancel <-chan struct{}) ([]*Handle, error) {
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("engine: empty request batch")
 	}
+	if slos != nil && len(slos) != len(reqs) {
+		return nil, fmt.Errorf("engine: %d SLOs for %d requests", len(slos), len(reqs))
+	}
 	hs := make([]*Handle, len(reqs))
 	for i, r := range reqs {
-		hs[i] = newHandle(r, cancel, s.effGenLen(r))
+		var slo SLO
+		if slos != nil {
+			slo = slos[i]
+		}
+		hs[i] = newHandle(r, cancel, s.effGenLen(r), slo)
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -335,9 +420,22 @@ func (s *Server) Stats() ServerStats {
 		Waves: a.waves, Deferred: a.deferred,
 		GeneratedTokens: a.tokens,
 		PrefillTokens:   a.prefillTokens,
-		HtoDBytes:       a.htod, DtoHBytes: a.dtoh, PagesMoved: a.pages,
+		SLORequests:     a.sloRequests, SLOMet: a.sloMet,
+		SLOMissTTFT: a.sloMissTTFT, SLOMissTPOT: a.sloMissTPOT,
+		MaxDeferrals: a.maxDeferrals,
+		HtoDBytes:    a.htod, DtoHBytes: a.dtoh, PagesMoved: a.pages,
 		WeightBytesFetched: a.weightBytes,
 		ExpertHits:         a.expHits, ExpertMisses: a.expMisses,
+	}
+	if a.ttftHist != nil {
+		st.TTFTP50 = a.ttftHist.Quantile(0.50)
+		st.TTFTP95 = a.ttftHist.Quantile(0.95)
+		st.TTFTP99 = a.ttftHist.Quantile(0.99)
+	}
+	if a.tpotHist != nil {
+		st.TPOTP50 = a.tpotHist.Quantile(0.50)
+		st.TPOTP95 = a.tpotHist.Quantile(0.95)
+		st.TPOTP99 = a.tpotHist.Quantile(0.99)
 	}
 	if a.prefillTime > 0 {
 		st.PrefillTokensPerSecond = float64(a.prefillTokens) / a.prefillTime.Seconds()
@@ -438,11 +536,37 @@ func (s *Server) loop() {
 // handle set for the next wave's no-progress comparison. Every handle
 // it does not return is finished (completed, canceled or failed).
 func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([]*Handle, map[*Handle]struct{}) {
+	var mbs []batching.MicroBatch
+	var abortedReqs []workload.Request
+	var err error
+	if s.cfg.SLOAware {
+		// Deadline-slack admission: order the queue most-urgent-first
+		// (starved requests, then ascending TTFT slack) and run the
+		// placement loop in that order, so when capacity runs out it is
+		// the slack-rich requests that defer — not whoever happens to
+		// have the shortest prompt.
+		now := time.Now()
+		items := make([]AdmissionItem, len(pending))
+		for i, h := range pending {
+			items[i] = AdmissionItem{Submitted: h.submitted, SLO: h.slo, Deferrals: h.deferrals}
+		}
+		order := AdmissionOrder(items, now, s.cfg.StarvationWaves)
+		ordered := make([]*Handle, len(pending))
+		for i, idx := range order {
+			ordered[i] = pending[idx]
+		}
+		pending = ordered
+	}
 	reqs := make([]workload.Request, len(pending))
 	for i, h := range pending {
 		reqs[i] = h.req
 	}
-	mbs, aborted, err := batching.Batch(reqs, batchConfig(s.cfg, s.w.Cfg.KVDim()))
+	if s.cfg.SLOAware {
+		mbs, abortedReqs, err = batching.BatchOrdered(reqs, batchConfig(s.cfg, s.w.Cfg.KVDim()))
+	} else {
+		mbs, abortedReqs, err = batching.Batch(reqs, batchConfig(s.cfg, s.w.Cfg.KVDim()))
+	}
+	aborted := abortedReqs
 	if err != nil {
 		s.failAll(pending, err)
 		return nil, nil
@@ -480,6 +604,12 @@ func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([
 	for _, r := range aborted {
 		h := take(r.ID)
 		h.deferred = true
+		h.deferrals++
+		s.mu.Lock()
+		if h.deferrals > s.stats.maxDeferrals {
+			s.stats.maxDeferrals = h.deferrals
+		}
+		s.mu.Unlock()
 		deferred = append(deferred, h)
 	}
 
@@ -578,14 +708,20 @@ func (s *Server) finalize(h *Handle, err error) {
 	span := h.lastTok.Sub(h.firstTok)
 	wasDeferred := h.deferred
 	h.mu.Unlock()
+	var tpot time.Duration
+	if n > 1 {
+		tpot = span / time.Duration(n-1)
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	canceled := false
 	switch {
 	case err == nil:
 		s.stats.completed++
 	case errors.Is(err, ErrCanceled):
 		s.stats.canceled++
+		canceled = true
 	default:
 		s.stats.failed++
 	}
@@ -596,10 +732,38 @@ func (s *Server) finalize(h *Handle, err error) {
 	if n > 0 {
 		s.stats.ttftSum += ttft
 		s.stats.ttftN++
+		if s.stats.ttftHist == nil {
+			s.stats.ttftHist = metrics.NewLatencyHistogram()
+		}
+		s.stats.ttftHist.Observe(ttft)
 	}
 	if n > 1 {
-		s.stats.tpotSum += span / time.Duration(n-1)
+		s.stats.tpotSum += tpot
 		s.stats.tpotN++
+		if s.stats.tpotHist == nil {
+			s.stats.tpotHist = metrics.NewLatencyHistogram()
+		}
+		s.stats.tpotHist.Observe(tpot)
+	}
+	// SLO attainment: judged for every finished SLO-carrying request
+	// except canceled ones (the client walked away mid-flight — the
+	// server neither met nor missed). A failed request, or one whose
+	// first token never came, blows its TTFT budget by definition.
+	if h.slo.IsZero() || canceled {
+		return
+	}
+	s.stats.sloRequests++
+	missTTFT := h.slo.TTFT > 0 && (n == 0 || ttft > h.slo.TTFT)
+	missTTFT = missTTFT || (err != nil && !canceled)
+	missTPOT := h.slo.TPOT > 0 && n > 1 && tpot > h.slo.TPOT
+	if missTTFT {
+		s.stats.sloMissTTFT++
+	}
+	if missTPOT {
+		s.stats.sloMissTPOT++
+	}
+	if !missTTFT && !missTPOT {
+		s.stats.sloMet++
 	}
 }
 

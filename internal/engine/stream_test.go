@@ -248,9 +248,9 @@ func TestServerNoProgressGuard(t *testing.T) {
 			Vocab: cfg.VocabSize,
 		},
 	}
-	starved := newHandle(workload.Request{ID: 1, PromptLen: 5, GenLen: 2}, nil, 2)
-	big1 := newHandle(workload.Request{ID: 2, PromptLen: 9, GenLen: 2}, nil, 2)
-	big2 := newHandle(workload.Request{ID: 3, PromptLen: 9, GenLen: 2}, nil, 2)
+	starved := newHandle(workload.Request{ID: 1, PromptLen: 5, GenLen: 2}, nil, 2, SLO{})
+	big1 := newHandle(workload.Request{ID: 2, PromptLen: 9, GenLen: 2}, nil, 2, SLO{})
+	big2 := newHandle(workload.Request{ID: 3, PromptLen: 9, GenLen: 2}, nil, 2, SLO{})
 
 	pending, prev := s.runWave([]*Handle{starved, big1}, nil)
 	if len(pending) != 1 || pending[0] != starved {
@@ -354,14 +354,14 @@ func TestServerNoProgressGuardUsesIdentity(t *testing.T) {
 		},
 	}
 	req := workload.Request{ID: 1, PromptLen: 5, GenLen: 2}
-	a1 := newHandle(req, nil, 2)
-	big1 := newHandle(workload.Request{ID: 2, PromptLen: 9, GenLen: 2}, nil, 2)
-	big2 := newHandle(workload.Request{ID: 3, PromptLen: 9, GenLen: 2}, nil, 2)
+	a1 := newHandle(req, nil, 2, SLO{})
+	big1 := newHandle(workload.Request{ID: 2, PromptLen: 9, GenLen: 2}, nil, 2, SLO{})
+	big2 := newHandle(workload.Request{ID: 3, PromptLen: 9, GenLen: 2}, nil, 2, SLO{})
 
 	_, prev := s.runWave([]*Handle{a1, big1}, nil) // defers a1
 	// a1 leaves the queue (say, canceled); a distinct handle with the
 	// exact same request values arrives alongside another long prompt.
-	a2 := newHandle(req, nil, 2)
+	a2 := newHandle(req, nil, 2, SLO{})
 	pending, _ := s.runWave([]*Handle{a2, big2}, prev)
 	if len(pending) != 1 || pending[0] != a2 {
 		t.Fatalf("identical-valued fresh request should defer, got %v", pending)

@@ -1,0 +1,276 @@
+package traffic
+
+import (
+	"fmt"
+	"time"
+
+	"moelightning/internal/batching"
+	"moelightning/internal/engine"
+	"moelightning/internal/workload"
+)
+
+// AdmissionPolicy selects how the simulator orders the pending queue at
+// each wave boundary.
+type AdmissionPolicy string
+
+const (
+	// PolicyFIFO is the classic length-sorted Alg. 2 pass over the
+	// arrival-ordered queue (the engine's default admission).
+	PolicyFIFO AdmissionPolicy = "fifo"
+	// PolicySlack is deadline-slack admission: engine.AdmissionOrder
+	// over the pending queue, placed by batching.BatchOrdered (the
+	// engine's ServeConfig.SLOAware path).
+	PolicySlack AdmissionPolicy = "deadline-slack"
+)
+
+// SimConfig parameterizes a virtual-time admission simulation.
+type SimConfig struct {
+	// Batch is the wave shape (identical role to the live server's
+	// batchConfig output).
+	Batch batching.Config
+	// Policy selects FIFO or deadline-slack admission.
+	Policy AdmissionPolicy
+	// StarvationWaves is the slack policy's starvation bound (<= 0
+	// selects engine.DefaultStarvationWaves).
+	StarvationWaves int
+	// PerPromptToken and PerDecodeStep are the virtual cost model: a
+	// wave's prefill takes admitted-prompt-tokens x PerPromptToken, and
+	// its decode takes GenLen x PerDecodeStep. Zero selects 100us and
+	// 2ms — roughly the tiny functional engine's shape; only relative
+	// magnitudes matter for policy comparison.
+	PerPromptToken time.Duration
+	PerDecodeStep  time.Duration
+}
+
+// SimWave is one simulated wave boundary.
+type SimWave struct {
+	// Start and End bound the wave on the virtual clock (offsets from
+	// the trace start).
+	Start, End time.Duration
+	// Admitted and Deferred list request IDs in placement order.
+	Admitted, Deferred []int
+}
+
+// SimReport is the outcome of a virtual-time admission simulation.
+type SimReport struct {
+	Waves []SimWave
+	// TTFT maps request ID to its simulated time-to-first-token.
+	TTFT map[int]time.Duration
+	// SLO accounting over SLO-bearing requests (dropped = TTFT miss).
+	SLORequests, SLOMet, SLOMissTTFT, SLOMissTPOT int
+	// MaxDeferrals is the worst per-request deferral count observed —
+	// the measured starvation bound.
+	MaxDeferrals int
+	// Dropped lists requests failed by the no-progress guard (they
+	// could not fit any wave two boundaries running).
+	Dropped []int
+}
+
+// SimulateAdmission replays a trace through the engine's actual
+// wave-boundary admission logic on a virtual clock. It is a pure
+// function of (trace, cfg): the batcher (batching.Batch or
+// BatchOrdered) and the ordering (engine.AdmissionOrder) are the same
+// code the live server runs, but time is simulated, so the admitted
+// waves are bit-reproducible — the determinism and FIFO-vs-slack
+// comparisons rest on this.
+//
+// The cost model is deliberately simple: a wave occupies the server for
+// prefill (admitted prompt tokens x PerPromptToken) plus decode (GenLen
+// x PerDecodeStep), every admitted request's first token lands at the
+// end of prefill, and arrivals during the wave queue for the next
+// boundary. The engine's no-progress guard is mirrored: a deferred set
+// that repeats identically across two boundaries is dropped (those
+// requests count as failed), as is an entire queue that fits no
+// micro-batch at all.
+func SimulateAdmission(trace Trace, cfg SimConfig) (SimReport, error) {
+	if err := trace.validate(); err != nil {
+		return SimReport{}, err
+	}
+	if err := cfg.Batch.Validate(); err != nil {
+		return SimReport{}, err
+	}
+	switch cfg.Policy {
+	case PolicyFIFO, PolicySlack:
+	case "":
+		cfg.Policy = PolicyFIFO
+	default:
+		return SimReport{}, fmt.Errorf("traffic: unknown admission policy %q", cfg.Policy)
+	}
+	perPrompt := cfg.PerPromptToken
+	if perPrompt <= 0 {
+		perPrompt = 100 * time.Microsecond
+	}
+	perStep := cfg.PerDecodeStep
+	if perStep <= 0 {
+		perStep = 2 * time.Millisecond
+	}
+
+	// base anchors AdmissionOrder's wall-clock arithmetic at a fixed
+	// instant so the simulation is a pure function of the trace.
+	base := time.Unix(0, 0)
+	rep := SimReport{TTFT: make(map[int]time.Duration)}
+	deferrals := make(map[int]int)
+	arrival := make(map[int]Event, len(trace.Events))
+	for _, ev := range trace.Events {
+		arrival[ev.Request.ID] = ev
+	}
+	dropped := make(map[int]bool)
+
+	next := 0 // first event not yet arrived
+	var pending []Event
+	var clock time.Duration
+	var prevDeferred []int
+
+	for next < len(trace.Events) || len(pending) > 0 {
+		// Admit everything that has arrived by now; if the queue is
+		// empty, idle forward to the next arrival.
+		if len(pending) == 0 && trace.Events[next].At > clock {
+			clock = trace.Events[next].At
+		}
+		for next < len(trace.Events) && trace.Events[next].At <= clock {
+			pending = append(pending, trace.Events[next])
+			next++
+		}
+
+		// Order the queue and run the engine's placement loop.
+		queue := pending
+		if cfg.Policy == PolicySlack {
+			items := make([]engine.AdmissionItem, len(pending))
+			for i, ev := range pending {
+				items[i] = engine.AdmissionItem{
+					Submitted: base.Add(ev.At),
+					SLO:       ev.SLO,
+					Deferrals: deferrals[ev.Request.ID],
+				}
+			}
+			order := engine.AdmissionOrder(items, base.Add(clock), cfg.StarvationWaves)
+			queue = make([]Event, len(pending))
+			for i, idx := range order {
+				queue[i] = pending[idx]
+			}
+		}
+		reqs := make([]workload.Request, len(queue))
+		for i, ev := range queue {
+			reqs[i] = ev.Request
+		}
+		var mbs []batching.MicroBatch
+		var aborted []workload.Request
+		var err error
+		if cfg.Policy == PolicySlack {
+			mbs, aborted, err = batching.BatchOrdered(reqs, cfg.Batch)
+		} else {
+			mbs, aborted, err = batching.Batch(reqs, cfg.Batch)
+		}
+		if err != nil {
+			return SimReport{}, err
+		}
+		if len(mbs) == 0 || countRequests(mbs) == 0 {
+			// Nothing fits: the live server fails the whole queue.
+			for _, ev := range pending {
+				dropped[ev.Request.ID] = true
+				rep.Dropped = append(rep.Dropped, ev.Request.ID)
+			}
+			pending = nil
+			continue
+		}
+
+		wave := SimWave{Start: clock}
+		promptTokens := 0
+		for _, mb := range mbs {
+			for _, r := range mb.Requests {
+				wave.Admitted = append(wave.Admitted, r.ID)
+				promptTokens += r.PromptLen
+			}
+		}
+		for _, r := range aborted {
+			wave.Deferred = append(wave.Deferred, r.ID)
+			deferrals[r.ID]++
+			if deferrals[r.ID] > rep.MaxDeferrals {
+				rep.MaxDeferrals = deferrals[r.ID]
+			}
+		}
+
+		// The wave occupies [clock, clock+prefill+decode); first tokens
+		// land at the end of prefill.
+		prefill := time.Duration(promptTokens) * perPrompt
+		wave.End = clock + prefill + time.Duration(cfg.Batch.GenLen)*perStep
+		for _, id := range wave.Admitted {
+			rep.TTFT[id] = clock + prefill - arrival[id].At
+		}
+		rep.Waves = append(rep.Waves, wave)
+
+		// No-progress guard: an identical deferred set two boundaries
+		// running is starved — drop it (the live server fails those
+		// handles with ErrNoProgress).
+		if len(wave.Deferred) > 0 && sameIDSet(wave.Deferred, prevDeferred) {
+			for _, id := range wave.Deferred {
+				dropped[id] = true
+				rep.Dropped = append(rep.Dropped, id)
+			}
+			pending = nil
+			prevDeferred = nil
+		} else {
+			byID := make(map[int]bool, len(wave.Deferred))
+			for _, id := range wave.Deferred {
+				byID[id] = true
+			}
+			kept := pending[:0]
+			for _, ev := range pending {
+				if byID[ev.Request.ID] {
+					kept = append(kept, ev)
+				}
+			}
+			pending = append([]Event(nil), kept...)
+			prevDeferred = wave.Deferred
+		}
+		clock = wave.End
+	}
+
+	// Judge SLOs: an admitted request's TTFT is simulated; TPOT is the
+	// cost model's constant decode cadence. Dropped requests miss TTFT.
+	for _, ev := range trace.Events {
+		if ev.SLO.IsZero() {
+			continue
+		}
+		rep.SLORequests++
+		ttft, admitted := rep.TTFT[ev.Request.ID]
+		missTTFT := !admitted || dropped[ev.Request.ID] ||
+			(ev.SLO.TTFT > 0 && ttft > ev.SLO.TTFT)
+		missTPOT := ev.SLO.TPOT > 0 && ev.Request.GenLen > 1 && perStep > ev.SLO.TPOT
+		if missTTFT {
+			rep.SLOMissTTFT++
+		}
+		if missTPOT {
+			rep.SLOMissTPOT++
+		}
+		if !missTTFT && !missTPOT {
+			rep.SLOMet++
+		}
+	}
+	return rep, nil
+}
+
+func countRequests(mbs []batching.MicroBatch) int {
+	n := 0
+	for _, mb := range mbs {
+		n += len(mb.Requests)
+	}
+	return n
+}
+
+func sameIDSet(a, b []int) bool {
+	if len(a) != len(b) || len(a) == 0 {
+		return false
+	}
+	seen := make(map[int]int, len(a))
+	for _, id := range a {
+		seen[id]++
+	}
+	for _, id := range b {
+		seen[id]--
+		if seen[id] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,89 @@
+package traffic
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"moelightning/internal/workload"
+)
+
+// Event is one timed request in a trace.
+type Event struct {
+	// At is the arrival offset from the trace's start.
+	At time.Duration `json:"at_ns"`
+	// Cohort names the cohort the request was drawn from.
+	Cohort string `json:"cohort"`
+	// Request is the concrete request (ID, prompt length, gen length).
+	Request workload.Request `json:"request"`
+	// SLO is the request's latency target (zero = best effort).
+	SLO SLO `json:"slo"`
+}
+
+// Trace is a replayable open-loop request timeline: the full output of
+// Scenario.Generate for one seed. It serializes to JSON so a trace can
+// be stored, diffed, and replayed bit-identically.
+type Trace struct {
+	Scenario string  `json:"scenario"`
+	Arrival  string  `json:"arrival"`
+	Seed     int64   `json:"seed"`
+	Events   []Event `json:"events"`
+}
+
+// Span is the arrival window: the offset of the last event.
+func (t Trace) Span() time.Duration {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	return t.Events[len(t.Events)-1].At
+}
+
+// OfferedRPS is the trace's realized offered load over its span.
+func (t Trace) OfferedRPS() float64 {
+	span := t.Span().Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(len(t.Events)) / span
+}
+
+// CohortCounts tallies events per cohort.
+func (t Trace) CohortCounts() map[string]int {
+	counts := make(map[string]int)
+	for _, ev := range t.Events {
+		counts[ev.Cohort]++
+	}
+	return counts
+}
+
+// MarshalJSON is the standard encoding (Trace is a plain struct); the
+// method pair exists so the wire format is an explicit, tested API.
+func (t Trace) MarshalJSON() ([]byte, error) {
+	type wire Trace // drop methods to avoid recursion
+	return json.Marshal(wire(t))
+}
+
+// UnmarshalJSON decodes a serialized trace and validates its shape.
+func (t *Trace) UnmarshalJSON(data []byte) error {
+	type wire Trace
+	var w wire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*t = Trace(w)
+	return t.validate()
+}
+
+func (t Trace) validate() error {
+	prev := time.Duration(-1)
+	for i, ev := range t.Events {
+		if ev.At < prev {
+			return fmt.Errorf("traffic: trace %s: event %d arrives at %v before its predecessor", t.Scenario, i, ev.At)
+		}
+		if ev.Request.PromptLen <= 0 || ev.Request.GenLen <= 0 {
+			return fmt.Errorf("traffic: trace %s: event %d has empty prompt or generation", t.Scenario, i)
+		}
+		prev = ev.At
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package traffic
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"moelightning/internal/workload"
+)
+
+func eventReq(id, prompt, gen int) workload.Request {
+	return workload.Request{ID: id, PromptLen: prompt, GenLen: gen}
+}
+
+// TestGenerateDeterministic: the same seed yields a byte-identical
+// trace; a different seed yields a different one.
+func TestGenerateDeterministic(t *testing.T) {
+	scn := BurstyMix(10, 120)
+	a, err := scn.Generate(2024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scn.Generate(2024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c, err := scn.Generate(2025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical traces")
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("same seed produced different serialized traces")
+	}
+}
+
+// TestTraceRoundTrip: a trace survives JSON encode/decode bit-exactly,
+// SLOs included.
+func TestTraceRoundTrip(t *testing.T) {
+	tr, err := PoissonChat(12, 60).Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Fatal("trace changed across JSON round trip")
+	}
+	// SLOs made it through (chat cohort carries a 400ms TTFT target).
+	found := false
+	for _, ev := range back.Events {
+		if ev.Cohort == "chat" && ev.SLO.TTFT == 400*time.Millisecond {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("chat SLO lost in serialization")
+	}
+}
+
+// TestTraceCohortMix: generated cohort shares track the configured
+// weights, request IDs are sequential, and shapes respect cohort
+// bounds.
+func TestTraceCohortMix(t *testing.T) {
+	scn := BurstyMix(20, 800)
+	tr, err := scn.Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := tr.CohortCounts()
+	// chat:rag:agentic:summarize = 4:2:3:1 → chat should dominate and
+	// summarize should be the smallest share.
+	if counts["chat"] <= counts["rag"] || counts["chat"] <= counts["summarize"] {
+		t.Errorf("cohort mix off: %v", counts)
+	}
+	if counts["summarize"] == 0 {
+		t.Error("summarize cohort never sampled over 800 requests")
+	}
+	shapes := map[string][2]int{ // min, max prompt bounds per cohort
+		"chat": {3, 24}, "rag": {14, 44}, "agentic": {2, 10}, "summarize": {24, 52},
+	}
+	for i, ev := range tr.Events {
+		if ev.Request.ID != i+1 {
+			t.Fatalf("event %d has ID %d, want sequential", i, ev.Request.ID)
+		}
+		b := shapes[ev.Cohort]
+		if ev.Request.PromptLen < b[0] || ev.Request.PromptLen > b[1] {
+			t.Fatalf("%s prompt %d outside [%d,%d]", ev.Cohort, ev.Request.PromptLen, b[0], b[1])
+		}
+	}
+}
+
+// TestTraceValidateRejectsBadTraces: decode rejects out-of-order and
+// empty-shape events.
+func TestTraceValidateRejectsBadTraces(t *testing.T) {
+	bad := []Trace{
+		{Scenario: "x", Events: []Event{
+			{At: time.Second, Request: eventReq(1, 4, 2)},
+			{At: 0, Request: eventReq(2, 4, 2)},
+		}},
+		{Scenario: "x", Events: []Event{{At: 0, Request: eventReq(1, 0, 2)}}},
+	}
+	for i, tr := range bad {
+		data, err := json.Marshal(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Trace
+		if err := json.Unmarshal(data, &back); err == nil {
+			t.Errorf("case %d: bad trace decoded without error", i)
+		}
+	}
+}
+
+// TestScenarioValidation: malformed scenarios are rejected.
+func TestScenarioValidation(t *testing.T) {
+	good := PoissonChat(5, 10)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	cases := []Scenario{
+		{}, // empty
+		{Name: "x", Arrival: Poisson{RPS: 1}, NumRequests: 10},                                 // no cohorts
+		{Name: "x", Arrival: Poisson{}, Cohorts: good.Cohorts, NumRequests: 10},                // bad process
+		{Name: "x", Arrival: Poisson{RPS: 1}, Cohorts: []Cohort{{Name: "c"}}, NumRequests: 10}, // bad cohort
+	}
+	for i, scn := range cases {
+		if err := scn.Validate(); err == nil {
+			t.Errorf("case %d: invalid scenario accepted", i)
+		}
+	}
+}

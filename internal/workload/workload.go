@@ -87,6 +87,12 @@ func (c Config) Generate(seed int64) []Request {
 	return reqs
 }
 
+// Sample draws one prompt length from the distribution with the
+// caller's generator. This is the per-request entry point the traffic
+// harness's cohort generators use; Generate remains the whole-set path
+// (with its mean recentering).
+func (c Config) Sample(rng *rand.Rand) int { return c.sample(rng) }
+
 // sample draws one prompt length. The generator mixes a triangular body
 // with a tail controlled by Skew, clamped to [MinPrompt, MaxPrompt].
 func (c Config) sample(rng *rand.Rand) int {

@@ -20,9 +20,14 @@ type (
 	// decode steps complete, Wait() blocks for the final output, Done()
 	// signals completion.
 	Handle = engine.Handle
-	// ServerStats snapshots serving metrics: TTFT, TPOT,
-	// tokens-per-second, wave and deferral counts, data movement.
+	// ServerStats snapshots serving metrics: TTFT, TPOT (means and
+	// p50/p95/p99), tokens-per-second, wave, deferral and SLO
+	// met/miss counts, data movement.
 	ServerStats = engine.ServerStats
+	// SLO is a request's latency service-level objective: a
+	// time-to-first-token budget from submission and a per-output-token
+	// budget after the first. Zero fields mean "no target".
+	SLO = engine.SLO
 	// KVDtype selects the KV cache codec (KVFloat32 or KVInt8).
 	KVDtype = kvcache.DType
 )
@@ -102,6 +107,17 @@ type ServerConfig struct {
 	// safe: a routed-to expert that is not resident demand-fetches
 	// synchronously, so a small budget costs time, never correctness.
 	ExpertResidencyBytes int
+	// SLOAware switches wave-boundary admission from FIFO-with-deferral
+	// to deadline-slack order: the (deferred + newly arrived) queue is
+	// sorted most-urgent-first at every boundary, so when capacity runs
+	// out it is the slack-rich requests that defer. Off, admission is
+	// the classic length-sorted Alg. 2 pass.
+	SLOAware bool
+	// StarvationWaves bounds starvation under SLO-aware admission: a
+	// request deferred this many consecutive boundaries jumps to the
+	// front of the admission order (<= 0 selects the engine default of
+	// 3). Ignored without SLOAware.
+	StarvationWaves int
 }
 
 func (c *ServerConfig) defaults() {
@@ -185,6 +201,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		KVDtype:              cfg.KVDtype,
 		PrefillChunk:         cfg.PrefillChunk,
 		ExpertResidencyBytes: cfg.ExpertResidencyBytes,
+		SLOAware:             cfg.SLOAware,
+		StarvationWaves:      cfg.StarvationWaves,
 	})
 	if err != nil {
 		return nil, err
@@ -199,6 +217,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // finishes with ErrCanceled, returning the tokens streamed so far.
 func (s *Server) Submit(ctx context.Context, req Request) (*Handle, error) {
 	return s.eng.Submit(req, ctxDone(ctx))
+}
+
+// SubmitSLO admits one request carrying a latency SLO. The SLO is
+// accounted in Stats (met / TTFT miss / TPOT miss over finished
+// requests) and, when the server runs with SLOAware admission, drives
+// the request's wave-boundary priority via its deadline slack.
+func (s *Server) SubmitSLO(ctx context.Context, req Request, slo SLO) (*Handle, error) {
+	return s.eng.SubmitSLO(req, slo, ctxDone(ctx))
 }
 
 // SubmitBatch admits a group of requests atomically: they reach the
