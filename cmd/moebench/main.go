@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"moelightning"
+	"moelightning/internal/calib"
 	"moelightning/internal/experiments"
 	"moelightning/internal/metrics"
 	"moelightning/internal/traffic"
@@ -34,7 +35,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,tab4,tab5,disk,quant,sparsity,latency,serve,slo,all")
+	exp := flag.String("exp", "all", "experiment id: fig1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,tab4,tab5,disk,quant,sparsity,latency,serve,slo,calib,all")
 	settings := flag.String("settings", "S1,S2,S6,S7", "comma-separated settings for fig7")
 	gens := flag.String("gens", "32,64,128,256", "comma-separated generation lengths")
 	kvdtype := flag.String("kvdtype", "f32", "KV cache codec for -exp serve/slo: f32 or int8")
@@ -42,7 +43,8 @@ func main() {
 	rps := flag.Float64("rps", 12, "base arrival rate for -exp slo scenarios")
 	requests := flag.Int("requests", 36, "requests per sweep point for -exp slo")
 	sweep := flag.String("sweep", "0.5,1,2", "comma-separated arrival-rate multiples for the -exp slo saturation sweep")
-	seed := flag.Int64("seed", 2024, "trace seed for -exp slo")
+	seed := flag.Int64("seed", 2024, "trace seed for -exp slo and bench seed for -exp calib")
+	quick := flag.Bool("quick", false, "shrink -exp calib bench grids for smoke runs")
 	flag.Parse()
 
 	kvDtype, err := moelightning.ParseKVDtype(*kvdtype)
@@ -123,6 +125,12 @@ func main() {
 				path = "BENCH_serve.json"
 			}
 			return runSLO(kvDtype, *rps, *requests, sweepScales, *seed, path)
+		case "calib":
+			path := *jsonPath
+			if path == "" {
+				path = "BENCH_calib.json"
+			}
+			return runCalib(*quick, *seed, path)
 		case "tab4":
 			rows, err := experiments.Table4()
 			if err != nil {
@@ -343,6 +351,28 @@ func runSLO(kvDtype moelightning.KVDtype, rps float64, requests int, scales []fl
 		return fmt.Errorf("slo: %s failed validation after write: %w", jsonPath, err)
 	}
 	fmt.Printf("wrote %s (%d scenarios, %d-point sweep)\n", jsonPath, len(bench.Scenarios), len(scales))
+	return nil
+}
+
+// runCalib harvests the calibration table from live micro-benches,
+// predicts the standing serve scenarios through it and through the
+// analytic host model, measures the real server on the same scenarios,
+// and writes the whole loop to BENCH_calib.json (read back through the
+// validator so a malformed write fails loudly).
+func runCalib(quick bool, seed int64, jsonPath string) error {
+	report, err := experiments.Calibration(quick, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderCalibration(report))
+	if err := calib.WriteBench(jsonPath, report); err != nil {
+		return err
+	}
+	if _, err := calib.LoadBench(jsonPath); err != nil {
+		return fmt.Errorf("calib: %s failed validation after write: %w", jsonPath, err)
+	}
+	fmt.Printf("wrote %s (%d scenarios, %d table entries)\n",
+		jsonPath, len(report.Scenarios), len(report.Table.Entries))
 	return nil
 }
 

@@ -1,0 +1,108 @@
+package calib
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// BenchSchema versions the `moebench -exp calib` result layout.
+const BenchSchema = "moelightning/bench-calib/v1"
+
+// BenchReport is the standing BENCH_calib.json artifact: the harvested
+// table plus predicted-vs-measured serve throughput for every standing
+// scenario.
+type BenchReport struct {
+	Schema string `json:"schema"`
+	Host   string `json:"host"`
+	Model  string `json:"model"`
+	Seed   int64  `json:"seed"`
+	Quick  bool   `json:"quick,omitempty"`
+	// Table is the embedded calibration harvest the predictions ran
+	// through.
+	Table *Table `json:"table"`
+	// Scenarios is one row per standing scenario.
+	Scenarios []ScenarioReport `json:"scenarios"`
+	// MaxCalibratedErr / MaxAnalyticErr summarize the worst scenario
+	// for each estimator; the calibrated figure is the one held to
+	// ErrorBand.
+	MaxCalibratedErr float64 `json:"max_calibrated_err"`
+	MaxAnalyticErr   float64 `json:"max_analytic_err"`
+}
+
+// NewBenchReport assembles and summarizes a report.
+func NewBenchReport(t *Table, modelName string, seed int64, quick bool, scenarios []ScenarioReport) *BenchReport {
+	r := &BenchReport{
+		Schema:    BenchSchema,
+		Host:      t.Host,
+		Model:     modelName,
+		Seed:      seed,
+		Quick:     quick,
+		Table:     t,
+		Scenarios: scenarios,
+	}
+	for _, sc := range scenarios {
+		r.MaxCalibratedErr = math.Max(r.MaxCalibratedErr, sc.CalibratedErr)
+		r.MaxAnalyticErr = math.Max(r.MaxAnalyticErr, sc.AnalyticErr)
+	}
+	return r
+}
+
+// Validate checks the report is well-formed: right schema, a valid
+// embedded table, at least two scenarios, and finite error figures.
+func (r *BenchReport) Validate() error {
+	if r.Schema != BenchSchema {
+		return fmt.Errorf("calib: bench schema %q, want %q", r.Schema, BenchSchema)
+	}
+	if r.Table == nil {
+		return fmt.Errorf("calib: bench report without a table")
+	}
+	if err := r.Table.Validate(); err != nil {
+		return err
+	}
+	if len(r.Scenarios) < 2 {
+		return fmt.Errorf("calib: %d scenarios, want >= 2", len(r.Scenarios))
+	}
+	for _, sc := range r.Scenarios {
+		if sc.Name == "" || sc.MeasuredTPS <= 0 {
+			return fmt.Errorf("calib: malformed scenario row %+v", sc)
+		}
+		for _, v := range []float64{sc.CalibratedTPS, sc.AnalyticTPS, sc.CalibratedErr, sc.AnalyticErr} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("calib: non-finite figure in scenario %s", sc.Name)
+			}
+		}
+	}
+	for _, v := range []float64{r.MaxCalibratedErr, r.MaxAnalyticErr} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("calib: non-finite error summary")
+		}
+	}
+	return nil
+}
+
+// WriteBench serializes the report as indented JSON.
+func WriteBench(path string, r *BenchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBench reads and validates a report.
+func LoadBench(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("calib: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("calib: %s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"moelightning/internal/calib"
+	"moelightning/internal/hardware"
+	"moelightning/internal/metrics"
+	"moelightning/internal/model"
+)
+
+// Calibration closes the measured loop behind `moebench -exp calib`:
+// run the kernel micro-benches in-process on this host, harvest the
+// efficiency table, predict serve throughput for the standing
+// scenarios through both the calibrated and the analytic estimator,
+// run the real server on the same scenarios, and report the error
+// split. Quick shrinks the bench grids for CI smoke runs.
+func Calibration(quick bool, seed int64) (*calib.BenchReport, error) {
+	m := model.Tiny()
+	spec := hardware.Host(runtime.NumCPU())
+	t, err := calib.Build(calib.BuildConfig{Model: m, Spec: spec, Seed: seed, Quick: quick})
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	rows, err := calib.Evaluate(t, m, spec, seed, calib.StandingScenarios())
+	if err != nil {
+		return nil, err
+	}
+	return calib.NewBenchReport(t, m.Name, seed, quick, rows), nil
+}
+
+// RenderCalibration prints the harvest summary and the per-scenario
+// predicted-vs-measured split.
+func RenderCalibration(r *calib.BenchReport) string {
+	t := r.Table
+	head := fmt.Sprintf(
+		"host %s (%d cores): %d entries vs raw peaks %.0f GFLOP/s, %.1f GB/s; expert warm-hit %.0f%%, decode schedule eff %.2f\n",
+		t.Host, t.Cores, len(t.Entries), t.PeakFLOPS/1e9, t.PeakBandwidth/1e9,
+		100*t.ExpertHitRatio, t.ScheduleEffDecode)
+
+	tab := metrics.Table{Header: []string{
+		"scenario", "measured tok/s", "calibrated tok/s", "err", "analytic tok/s", "err"}}
+	for _, sc := range r.Scenarios {
+		tab.Add(sc.Name,
+			fmt.Sprintf("%.0f", sc.MeasuredTPS),
+			fmt.Sprintf("%.0f", sc.CalibratedTPS),
+			fmt.Sprintf("%.1f%%", 100*sc.CalibratedErr),
+			fmt.Sprintf("%.0f", sc.AnalyticTPS),
+			fmt.Sprintf("%.1f%%", 100*sc.AnalyticErr))
+	}
+	foot := fmt.Sprintf("worst calibrated error %.1f%% (band %.0f%%); worst analytic error %.1f%%\n",
+		100*r.MaxCalibratedErr, 100*calib.ErrorBand, 100*r.MaxAnalyticErr)
+	return head + tab.String() + foot
+}

@@ -1,5 +1,7 @@
 package hardware
 
+import "runtime"
+
 // Device presets matching the paper's evaluation hardware (Tab. 2 and
 // Fig. 3). Peak numbers come from vendor datasheets; efficiency factors
 // are calibrated once (see package comment) and shared by all systems.
@@ -139,10 +141,49 @@ func DualA100() Spec {
 	}
 }
 
-// Presets returns all named specs, for CLI lookup.
+// Host describes the machine the functional engine actually runs on:
+// both "GPU" and "CPU" levels are the host's core pool and DRAM, and
+// the "link" is a memcpy through the pinned staging arena. The peaks
+// are *nominal* — cores x 32 GFLOP/s (an 8-lane FMA at 2 GHz) and a
+// 16 GB/s DRAM stream per level — deliberately what a spec sheet
+// would claim, not what scalar Go kernels sustain. That gap is the
+// point: predictions from this spec's analytic curve miss the real
+// engine by an order of magnitude, and internal/calib's measured
+// table is what closes it. Calibration tables store efficiencies
+// relative to these raw peaks, so predictions only compose with
+// inputs built on the same spec.
+func Host(cores int) Spec {
+	if cores < 1 {
+		cores = 1
+	}
+	level := func(name string, mem int64) CPU {
+		return CPU{
+			Name: name, MemBytes: mem,
+			MemBandwidth: GBps(16), PeakFLOPS: float64(cores) * 32e9,
+			Cores: cores, EffBandwidth: 0.80, EffFLOPS: 0.50,
+		}
+	}
+	cpu := level("host-pool", GiB(8))
+	return Spec{
+		Name: "host",
+		GPU: GPU{
+			Name: "host-pool", MemBytes: GiB(2),
+			MemBandwidth: cpu.MemBandwidth, PeakFLOPS: cpu.PeakFLOPS,
+			EffBandwidth: cpu.EffBandwidth, EffFLOPS: cpu.EffFLOPS,
+			MicroBatchHalf: 2, LaunchOverhead: 2e-6,
+		},
+		NumGPUs: 1,
+		CPU:     cpu,
+		Link:    Link{Name: "memcpy", Bandwidth: GBps(8), Eff: 0.80},
+	}
+}
+
+// Presets returns all named specs, for CLI lookup. "host" describes
+// the local machine at runtime.NumCPU cores.
 func Presets() map[string]Spec {
 	return map[string]Spec{
 		"S1": S1(), "S2": S2(), "S6": S6(), "S7": S7(), "S8": S8(), "S9": S9(),
 		"2xA100": DualA100(),
+		"host":   Host(runtime.NumCPU()),
 	}
 }

@@ -118,6 +118,14 @@ func (c Config) LayerWeightParams() int64 {
 	return c.AttnWeightParams() + c.FFNWeightParams() + 2*int64(c.Hidden)
 }
 
+// SharedWeightParams counts the per-layer weights outside the expert
+// blocks — attention projections, router and the two norms. This is
+// the shared prefix of the engine's paged layout split: it rides the
+// scheduled double-buffer lane while expert blocks page individually.
+func (c Config) SharedWeightParams() int64 {
+	return c.AttnWeightParams() + int64(c.Hidden)*int64(c.Experts) + 2*int64(c.Hidden)
+}
+
 // TotalParams counts the full model including embeddings and LM head.
 func (c Config) TotalParams() int64 {
 	emb := 2 * int64(c.VocabSize) * int64(c.Hidden)
@@ -139,6 +147,17 @@ func (c Config) FFNWeightBytes() int64 {
 // LayerWeightBytes is the total block weight size per layer.
 func (c Config) LayerWeightBytes() int64 {
 	return int64(float64(c.LayerWeightParams()) * c.WeightDType.Bytes())
+}
+
+// SharedWeightBytes is the per-layer shared attention/router prefix
+// size; SharedWeightBytes + Experts*ExpertBlockBytes covers the layer.
+func (c Config) SharedWeightBytes() int64 {
+	return int64(float64(c.SharedWeightParams()) * c.WeightDType.Bytes())
+}
+
+// ExpertBlockBytes is one pageable expert FFN block (gate, up, down).
+func (c Config) ExpertBlockBytes() int64 {
+	return int64(float64(c.ExpertParams()) * c.WeightDType.Bytes())
 }
 
 // TotalWeightBytes is the whole-model weight size.

@@ -44,6 +44,20 @@ func TestExpertFFNDominatesMoEWeights(t *testing.T) {
 	}
 }
 
+func TestSharedExpertSplitCoversLayer(t *testing.T) {
+	// The paged layout splits every layer into a shared prefix plus
+	// Experts pageable FFN blocks; nothing may be dropped or counted
+	// twice, in params or bytes, for any preset.
+	for name, cfg := range Presets() {
+		if got := cfg.SharedWeightParams() + int64(cfg.Experts)*cfg.ExpertParams(); got != cfg.LayerWeightParams() {
+			t.Errorf("%s: shared + experts = %d params, layer = %d", name, got, cfg.LayerWeightParams())
+		}
+		if got := cfg.SharedWeightBytes() + int64(cfg.Experts)*cfg.ExpertBlockBytes(); got != cfg.LayerWeightBytes() {
+			t.Errorf("%s: shared + experts = %d bytes, layer = %d", name, got, cfg.LayerWeightBytes())
+		}
+	}
+}
+
 func TestKVBytesPerToken(t *testing.T) {
 	// Mixtral 8x7B: 2 (K,V) * 8 heads * 128 dim * 2 bytes * 32 layers = 128 KiB.
 	if got := Mixtral8x7B().KVBytesPerToken(); got != 131072 {

@@ -1,5 +1,7 @@
 package perfmodel
 
+import "moelightning/internal/roofline"
+
 // Component latencies consumed by the schedule builders and the Fig. 9
 // ablation. Each is a single-layer, single-micro-batch duration in
 // seconds.
@@ -7,7 +9,7 @@ package perfmodel
 // PreAttnLatency is the layer-norm + QKV projection for one micro-batch.
 func (e *Estimator) PreAttnLatency(mu int) float64 {
 	c := e.In.Model.PreAttnCost(mu)
-	return e.gpuOpTime(c.FLOPs, c.Bytes(), mu)
+	return e.gpuOpTime(roofline.OpPreAttn, roofline.Shape{Tokens: mu}, c.FLOPs, c.Bytes())
 }
 
 // PostAttnLatency is the O projection + router + MoE FFN for one
@@ -16,7 +18,7 @@ func (e *Estimator) PreAttnLatency(mu int) float64 {
 func (e *Estimator) PostAttnLatency(mu int) float64 {
 	m := e.In.Model
 	c := m.PostAttnCost(mu, m.ExpertsTouched(mu))
-	t := e.gpuOpTime(c.FLOPs, c.Bytes(), mu)
+	t := e.gpuOpTime(roofline.OpFFN, roofline.Shape{Tokens: mu}, c.FLOPs, c.Bytes())
 	return t + e.AllReduceLatency(mu)
 }
 
@@ -34,8 +36,8 @@ func (e *Estimator) AllReduceLatency(mu int) float64 {
 // GPUAttnLatency is the attention core on GPU for one micro-batch (KV
 // already resident in HBM).
 func (e *Estimator) GPUAttnLatency(mu, context int) float64 {
-	c := e.In.Model.AttnCost(mu, context)
-	return e.gpuOpTime(c.FLOPs, c.Bytes(), mu)
+	flops, bytes := e.attnCost(mu, context)
+	return e.gpuOpTime(e.attendOp(), roofline.Shape{Tokens: mu, Context: context}, flops, bytes)
 }
 
 // QKVOffloadLatency is the D1 transfer: one micro-batch's Q, K and V
@@ -51,15 +53,26 @@ func (e *Estimator) HiddenLoadLatency(mu int) float64 {
 }
 
 // KVStoreLatency is the write-back of one micro-batch's newly produced
-// K/V for one layer.
+// K/V for one layer, at the codec's byte rate.
 func (e *Estimator) KVStoreLatency(mu int) float64 {
-	return e.linkTime(float64(mu) * e.In.Model.KVBytesPerTokenLayer())
+	return e.linkTime(float64(mu) * e.kvBytesTokenLayer())
 }
 
 // WeightStreamBytes is the portion of one layer's weights that crosses
-// the link each pass under policy p.
+// the link each pass under policy p. Under the paged layout (PR 6)
+// only the shared attention/router prefix is scheduled per pass;
+// expert FFN blocks cost pager-fetch bytes per acquisition, discounted
+// by the measured warm-hit ratio.
 func (e *Estimator) WeightStreamBytes(p Policy) float64 {
 	m := e.In.Model
+	if e.In.Paged {
+		shared := float64(m.SharedWeightBytes()) * (1 - p.WeightsGPURatio)
+		if !p.GPUFFN {
+			return shared
+		}
+		acquisitions := float64(p.MicroBatches()) * float64(m.ExpertsTouched(p.Mu))
+		return shared + acquisitions*float64(m.ExpertBlockBytes())*(1-e.In.ExpertHitRatio)
+	}
 	if p.GPUFFN {
 		return float64(m.LayerWeightBytes()) * (1 - p.WeightsGPURatio)
 	}

@@ -1,11 +1,19 @@
 package perfmodel
 
-import "math"
+import (
+	"fmt"
+	"math"
+
+	"moelightning/internal/roofline"
+)
 
 // Estimator evaluates the performance model for one Input. The zero
 // value is not usable; construct with New.
 type Estimator struct {
 	In Input
+
+	// eff resolves Input.Eff, defaulting to the analytic spec curve.
+	eff roofline.EfficiencyModel
 }
 
 // New returns an Estimator after validating the input.
@@ -19,7 +27,22 @@ func New(in Input) (*Estimator, error) {
 	if err := in.Workload.Validate(); err != nil {
 		return nil, err
 	}
-	return &Estimator{In: in}, nil
+	if in.ExpertHitRatio < 0 || in.ExpertHitRatio > 1 {
+		return nil, fmt.Errorf("perfmodel: expert hit ratio out of [0,1]: %f", in.ExpertHitRatio)
+	}
+	e := &Estimator{In: in, eff: in.Eff}
+	if e.eff == nil {
+		e.eff = AnalyticEfficiency(in.Spec)
+	}
+	return e, nil
+}
+
+// attendOp is the attention-core op class at the input's KV codec.
+func (e *Estimator) attendOp() roofline.OpClass {
+	if e.In.KVCodec == KVPagedInt8 {
+		return roofline.OpAttendInt8
+	}
+	return roofline.OpAttendF32
 }
 
 // LayerTimes is the per-layer, whole-batch decode cost broken down by
@@ -49,19 +72,24 @@ func (t LayerTimes) Critical() float64 {
 	return math.Max(m, t.Disk)
 }
 
-// gpuOpTime applies Eq. 8 on the GPU — max(flops/P_eff(mu), bytes/B) —
-// plus the fixed kernel dispatch overhead.
-func (e *Estimator) gpuOpTime(flops, bytes float64, mu int) float64 {
+// gpuOpTime applies Eq. 8 on the GPU — max(flops/(P_peak*eff_c),
+// bytes/(B_peak*eff_b)) — plus the fixed kernel dispatch overhead. The
+// derating pair comes through the Efficiency seam: analytically it is
+// the spec's saturation curve (reproducing TotalGPUFLOPSAt exactly);
+// calibrated, it is a measured-table lookup for the op's shape.
+func (e *Estimator) gpuOpTime(op roofline.OpClass, shape roofline.Shape, flops, bytes float64) float64 {
 	s := e.In.Spec
-	p := s.TotalGPUFLOPSAt(mu)
-	b := s.TotalGPUBandwidth()
+	eff := e.eff.Efficiency(op, shape)
+	p := s.GPU.PeakFLOPS * float64(s.NumGPUs) * eff.Compute
+	b := s.GPU.MemBandwidth * float64(s.NumGPUs) * eff.Bandwidth
 	return math.Max(flops/p, bytes/b) + s.GPU.LaunchOverhead
 }
 
-// cpuOpTime applies Eq. 8 on the CPU.
-func (e *Estimator) cpuOpTime(flops, bytes float64) float64 {
+// cpuOpTime applies Eq. 8 on the CPU through the same seam.
+func (e *Estimator) cpuOpTime(op roofline.OpClass, shape roofline.Shape, flops, bytes float64) float64 {
 	c := e.In.Spec.CPU
-	return math.Max(flops/c.SustainedFLOPS(), bytes/c.SustainedBandwidth())
+	eff := e.eff.Efficiency(op, shape)
+	return math.Max(flops/(c.PeakFLOPS*eff.Compute), bytes/(c.MemBandwidth*eff.Bandwidth))
 }
 
 // linkTime is bytes over the aggregate CPU->GPU (or GPU->CPU) link.
@@ -85,46 +113,48 @@ func (e *Estimator) DecodeLayer(p Policy, context int) LayerTimes {
 	// micro-batch (CGOPipe keeps projections and FFN on GPU whenever
 	// F_g; when !GPUFFN the FFN moves to the CPU and only the
 	// statically-placed r_w fraction runs on GPU).
+	muShape := roofline.Shape{Tokens: p.Mu}
 	pre := m.PreAttnCost(p.Mu)
-	t.PreAttn = nb * e.gpuOpTime(pre.FLOPs, pre.Bytes(), p.Mu)
+	t.PreAttn = nb * e.gpuOpTime(roofline.OpPreAttn, muShape, pre.FLOPs, pre.Bytes())
 
 	post := m.PostAttnCost(p.Mu, m.ExpertsTouched(p.Mu))
 	if p.GPUFFN {
-		t.PostAttn = nb * e.gpuOpTime(post.FLOPs, post.Bytes(), p.Mu)
+		t.PostAttn = nb * e.gpuOpTime(roofline.OpFFN, muShape, post.FLOPs, post.Bytes())
 	} else {
 		// Static split: r_w of the FFN on GPU, the rest on CPU, no
 		// weight streaming (§3.3 "static weights placement").
-		t.PostAttn = nb * e.gpuOpTime(post.FLOPs*p.WeightsGPURatio, post.Bytes()*p.WeightsGPURatio, p.Mu)
-		t.CPUFFN = nb * e.cpuOpTime(post.FLOPs*(1-p.WeightsGPURatio), post.Bytes()*(1-p.WeightsGPURatio))
+		t.PostAttn = nb * e.gpuOpTime(roofline.OpFFN, muShape, post.FLOPs*p.WeightsGPURatio, post.Bytes()*p.WeightsGPURatio)
+		t.CPUFFN = nb * e.cpuOpTime(roofline.OpCPUFFN, muShape, post.FLOPs*(1-p.WeightsGPURatio), post.Bytes()*(1-p.WeightsGPURatio))
 	}
 
-	// --- Attention core.
-	attn := m.AttnCost(p.Mu, context)
+	// --- Attention core. KV traffic is denominated at the input's KV
+	// codec rate (kvcache.TokenBytes for paged caches), not the model
+	// dtype's dense rows.
+	attnShape := roofline.Shape{Tokens: p.Mu, Context: context, KVInt8: e.In.KVCodec == KVPagedInt8}
+	attnFLOPs, attnBytes := e.attnCost(p.Mu, context)
+	kvTokLayer := e.kvBytesTokenLayer()
 	if p.GPUAttn {
-		t.GPUAttn = nb * e.gpuOpTime(attn.FLOPs, attn.Bytes(), p.Mu)
+		t.GPUAttn = nb * e.gpuOpTime(e.attendOp(), attnShape, attnFLOPs, attnBytes)
 		// The (1-r_c) cold fraction of the (sparsified) KV cache
 		// streams up per micro-batch.
-		kvBytes := float64(p.Mu) * float64(context) * m.KVBytesPerTokenLayer()
+		kvBytes := float64(p.Mu) * float64(context) * kvTokLayer
 		t.KVXfer = nb * e.linkTime(kvBytes*(1-p.KVGPURatio))
 		// Newly produced K/V for tokens whose cache lives on CPU write
 		// back down.
-		t.KVWriteback = nb * e.linkTime(float64(p.Mu)*m.KVBytesPerTokenLayer()*(1-p.KVGPURatio))
+		t.KVWriteback = nb * e.linkTime(float64(p.Mu)*kvTokLayer*(1-p.KVGPURatio))
 	} else {
-		t.CPUAttn = nb * e.cpuOpTime(attn.FLOPs, attn.Bytes())
+		t.CPUAttn = nb * e.cpuOpTime(roofline.OpCPUAttn, attnShape, attnFLOPs, attnBytes)
 		// D1: Q,K,V offload to CPU after the QKV projection.
 		t.QKVXfer = nb * e.linkTime(float64(m.QKVBytes(p.Mu)))
 		// D2: attention output returns to GPU.
 		t.HiddenXfer = nb * e.linkTime(float64(m.HiddenBytes(p.Mu)))
 	}
 
-	// --- Weight streaming (D3).
-	if p.GPUFFN {
-		t.WeightXfer = e.linkTime(float64(m.LayerWeightBytes()) * (1 - p.WeightsGPURatio))
-	} else {
-		// Attention projections still run on GPU; stream only those if
-		// they are not statically placed.
-		t.WeightXfer = e.linkTime(float64(m.AttnWeightBytes()) * (1 - p.WeightsGPURatio))
-	}
+	// --- Weight streaming (D3). Under the paged layout only the shared
+	// attention/router prefix rides the scheduled lane; expert blocks
+	// cost pager-fetch bytes per touched expert, discounted by the
+	// measured warm-hit ratio.
+	t.WeightXfer = e.linkTime(e.WeightStreamBytes(p))
 
 	// --- Tensor-parallel all-reduce: two per layer (after O-projection
 	// and after FFN), ring all-reduce moving 2(g-1)/g of the hidden
@@ -165,15 +195,21 @@ func (e *Estimator) PrefillTime(p Policy) float64 {
 	totalTokens := p.N * s
 
 	cost := m.PrefillCost(totalTokens, s)
-	// Prefill kernels see mu*s tokens per launch: fully saturated.
-	gpu := e.gpuOpTime(cost.FLOPs, cost.Bytes(), p.Mu*s)
+	// Prefill kernels see mu*s tokens per launch — or, under the
+	// engine's wave-packed prefill, all N*s live prompt tokens pack
+	// into each per-layer batch.
+	launch := p.Mu * s
+	if e.In.Paged {
+		launch = totalTokens
+	}
+	gpu := e.gpuOpTime(roofline.OpPrefill, roofline.Shape{Tokens: launch}, cost.FLOPs, cost.Bytes())
 
 	weights := e.linkTime(float64(m.TotalWeightBytes()) * (1 - p.WeightsGPURatio))
 	if p.WeightsDiskRatio > 0 && e.In.Spec.Disk.Present() {
 		disk := p.WeightsDiskRatio * float64(m.TotalWeightBytes()) / e.In.Spec.Disk.SustainedRead()
 		weights = math.Max(weights, disk)
 	}
-	kvDown := e.linkTime(float64(totalTokens) * m.KVBytesPerToken() * (1 - p.KVGPURatio))
+	kvDown := e.linkTime(float64(totalTokens) * e.kvBytesToken() * (1 - p.KVGPURatio))
 
 	var allReduce float64
 	if g := e.In.Spec.NumGPUs; g > 1 {
@@ -189,8 +225,9 @@ func (e *Estimator) PrefillTime(p Policy) float64 {
 
 // CPUAttnLatency is one micro-batch of CPU attention at the context.
 func (e *Estimator) CPUAttnLatency(mu, context int) float64 {
-	a := e.In.Model.AttnCost(mu, context)
-	return e.cpuOpTime(a.FLOPs, a.Bytes())
+	flops, bytes := e.attnCost(mu, context)
+	shape := roofline.Shape{Tokens: mu, Context: context, KVInt8: e.In.KVCodec == KVPagedInt8}
+	return e.cpuOpTime(roofline.OpCPUAttn, shape, flops, bytes)
 }
 
 // sparseContext applies the policy's KV budget to a context length.
@@ -203,9 +240,9 @@ func sparseContext(context int, p Policy) int {
 }
 
 // KVTransferLatency is the time to move one micro-batch's KV cache for
-// one layer from CPU pinned memory to GPU.
+// one layer from CPU pinned memory to GPU, at the codec's byte rate.
 func (e *Estimator) KVTransferLatency(mu, context int) float64 {
-	bytes := float64(mu) * float64(context) * e.In.Model.KVBytesPerTokenLayer()
+	bytes := float64(mu) * float64(context) * e.kvBytesTokenLayer()
 	return e.linkTime(bytes)
 }
 
@@ -214,5 +251,5 @@ func (e *Estimator) KVTransferLatency(mu, context int) float64 {
 func (e *Estimator) FFNLatency(mu int) float64 {
 	m := e.In.Model
 	post := m.PostAttnCost(mu, m.ExpertsTouched(mu))
-	return e.gpuOpTime(post.FLOPs, post.Bytes(), mu)
+	return e.gpuOpTime(roofline.OpFFN, roofline.Shape{Tokens: mu}, post.FLOPs, post.Bytes())
 }

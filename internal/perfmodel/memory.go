@@ -36,10 +36,10 @@ func (e *Estimator) GPUMem(p Policy) MemBreakdown {
 	}
 
 	if p.GPUAttn {
-		b.KVCache = int64(p.KVGPURatio * float64(p.N) * float64(e.In.FinalContext()) * m.KVBytesPerToken())
+		b.KVCache = int64(p.KVGPURatio * float64(p.N) * float64(e.In.FinalContext()) * e.kvBytesToken())
 		if p.KVGPURatio < 1 {
 			// Staging buffer for one micro-batch's streamed KV (one layer).
-			b.KVCache += int64(2 * float64(p.Mu) * float64(e.In.FinalContext()) * m.KVBytesPerTokenLayer())
+			b.KVCache += int64(2 * float64(p.Mu) * float64(e.In.FinalContext()) * e.kvBytesTokenLayer())
 		}
 	}
 
@@ -87,7 +87,7 @@ func (e *Estimator) CPUMem(p Policy) MemBreakdown {
 	if p.GPUAttn {
 		kvRatio = 1 - p.KVGPURatio
 	}
-	b.KVCache = int64(kvRatio * float64(p.N) * float64(e.In.FinalContext()) * m.KVBytesPerToken())
+	b.KVCache = int64(kvRatio * float64(p.N) * float64(e.In.FinalContext()) * e.kvBytesToken())
 
 	// Hidden/QKV staging for all in-flight micro-batches.
 	b.Activations = int64(3*float64(m.QKVBytes(p.N))) + m.HiddenBytes(p.N)

@@ -10,6 +10,7 @@ import (
 
 	"moelightning/internal/hardware"
 	"moelightning/internal/model"
+	"moelightning/internal/roofline"
 	"moelightning/internal/workload"
 )
 
@@ -105,6 +106,27 @@ type Input struct {
 	// (p) variants).
 	Workload workload.Config
 	Padded   bool
+
+	// Eff supplies the kernel derating pairs for every Eq. 8
+	// evaluation. Nil selects the analytic spec curve
+	// (AnalyticEfficiency); a calibration table measured from the
+	// engine's own benchmarks slots in here without touching the cost
+	// arithmetic.
+	Eff roofline.EfficiencyModel
+	// KVCodec denominates KV-cache traffic and footprints; the zero
+	// value is the analytic Model.KVDType convention.
+	KVCodec KVCodec
+	// Paged switches weight traffic to the engine's PR 6 layout: the
+	// shared attention/router prefix of each layer rides the scheduled
+	// double-buffer lane once per pass, while expert FFN blocks move
+	// through the pager, costing fetch bytes per touched expert scaled
+	// by (1 - ExpertHitRatio). Off (the default), weight streaming is
+	// the paper's whole-layer model.
+	Paged bool
+	// ExpertHitRatio is the measured fraction of expert-block
+	// acquisitions served warm from the residency pool, in [0,1]. Only
+	// meaningful when Paged; zero means every acquisition fetches.
+	ExpertHitRatio float64
 }
 
 // AvgPrompt is the effective prompt length for capacity and cost math.

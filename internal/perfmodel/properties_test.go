@@ -6,6 +6,7 @@ import (
 
 	"moelightning/internal/hardware"
 	"moelightning/internal/model"
+	"moelightning/internal/roofline"
 	"moelightning/internal/workload"
 )
 
@@ -131,6 +132,93 @@ func TestMoreGPUsNeverSlowPrefill(t *testing.T) {
 		return e4.PrefillTime(p) <= e2.PrefillTime(p)+1e-12
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThroughputMonotoneInBandwidth(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p := randPolicy(a, b)
+		base := s1Input()
+		fast := s1Input()
+		fast.Spec.GPU.MemBandwidth *= 2
+		fast.Spec.CPU.MemBandwidth *= 2
+		fast.Spec.Link.Bandwidth *= 2
+		eb, err1 := New(base)
+		ef, err2 := New(fast)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ef.Throughput(p).TokensPerSecond >= eb.Throughput(p).TokensPerSecond-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThroughputMonotoneInFLOPS(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p := randPolicy(a, b)
+		base := s1Input()
+		fast := s1Input()
+		fast.Spec.GPU.PeakFLOPS *= 2
+		fast.Spec.CPU.PeakFLOPS *= 2
+		eb, err1 := New(base)
+		ef, err2 := New(fast)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ef.Throughput(p).TokensPerSecond >= eb.Throughput(p).TokensPerSecond-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExplicitAnalyticSeamMatchesDefault pins the Efficiency seam
+// refactor: passing the analytic curve explicitly through Input.Eff
+// must be bit-identical to the nil default, for every policy and
+// report field.
+func TestExplicitAnalyticSeamMatchesDefault(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p := randPolicy(a, b)
+		def := s1Input()
+		expl := s1Input()
+		expl.Eff = AnalyticEfficiency(expl.Spec)
+		e1, err1 := New(def)
+		e2, err2 := New(expl)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return e1.Throughput(p) == e2.Throughput(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnityCalibrationMatchesAnalyticOnIdealSpec: when the spec's
+// derates and saturation are stripped (Eff* = 1, MicroBatchHalf = 0),
+// the analytic curve is exactly unity, so a measured model whose every
+// lookup returns 1.0 (roofline.HRM's implementation) must agree with
+// the analytic default on every estimate.
+func TestUnityCalibrationMatchesAnalyticOnIdealSpec(t *testing.T) {
+	ideal := s1Input()
+	ideal.Spec.GPU.EffFLOPS, ideal.Spec.GPU.EffBandwidth = 1, 1
+	ideal.Spec.GPU.MicroBatchHalf = 0
+	ideal.Spec.CPU.EffFLOPS, ideal.Spec.CPU.EffBandwidth = 1, 1
+	unity := ideal
+	unity.Eff = roofline.HRM{}
+	f := func(a, b uint16) bool {
+		p := randPolicy(a, b)
+		e1, err1 := New(ideal)
+		e2, err2 := New(unity)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return e1.Throughput(p) == e2.Throughput(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
 	}
 }

@@ -9,6 +9,12 @@
 // makers (FlexGen's and DeepSpeed ZeRO-Inference's) used by Tab. 5 and
 // Fig. 1: same search skeleton, but driven by those systems' blind spots
 // (no kernel-saturation term, no per-micro-batch expert weight re-read).
+//
+// The search is estimator-agnostic: Optimize scores candidates through
+// whatever efficiency model the perfmodel.Input carries, so an Input
+// whose Eff is a measured calibration table (internal/calib) searches
+// over this machine's real kernel rates instead of the analytic spec
+// curve — same space, same tie-breaks, calibrated scores.
 package policy
 
 import (
@@ -46,6 +52,13 @@ func WithMuGrid(mus ...int) Option {
 // WithGPUAttn fixes A_g instead of searching both.
 func WithGPUAttn(v bool) Option {
 	return func(o *options) { o.attnChoices = []bool{v} }
+}
+
+// WithRwGrid overrides the static weight-placement grid (used to pin
+// r_w = 0 when searching shapes for the functional engine, whose
+// weights always stream through the pager).
+func WithRwGrid(rws ...float64) Option {
+	return func(o *options) { o.rwGrid = rws }
 }
 
 // WithCPUFFNAllowed adds F_g = 0 (static weights placement, §3.3) to the
