@@ -39,6 +39,7 @@ func main() {
 	settings := flag.String("settings", "S1,S2,S6,S7", "comma-separated settings for fig7")
 	gens := flag.String("gens", "32,64,128,256", "comma-separated generation lengths")
 	kvdtype := flag.String("kvdtype", "f32", "KV cache codec for -exp serve/slo: f32 or int8")
+	sharedPrefix := flag.Bool("sharedprefix", true, "shared-prefix KV reuse for -exp serve/slo (refcounted blocks, copy-on-write)")
 	jsonPath := flag.String("json", "", "write a machine-readable result here (serve; slo defaults to BENCH_serve.json)")
 	rps := flag.Float64("rps", 12, "base arrival rate for -exp slo scenarios")
 	requests := flag.Int("requests", 36, "requests per sweep point for -exp slo")
@@ -118,13 +119,13 @@ func main() {
 			}
 			fmt.Print(experiments.RenderKVSparsity(rows))
 		case "serve":
-			return runServe(kvDtype, *jsonPath)
+			return runServe(kvDtype, prefixMode(*sharedPrefix), *jsonPath)
 		case "slo":
 			path := *jsonPath
 			if path == "" {
 				path = "BENCH_serve.json"
 			}
-			return runSLO(kvDtype, *rps, *requests, sweepScales, *seed, path)
+			return runSLO(kvDtype, prefixMode(*sharedPrefix), *rps, *requests, sweepScales, *seed, path)
 		case "calib":
 			path := *jsonPath
 			if path == "" {
@@ -168,18 +169,30 @@ func main() {
 	}
 }
 
+// prefixMode maps the -sharedprefix flag to the facade knob.
+func prefixMode(on bool) moelightning.SharedPrefixMode {
+	if on {
+		return moelightning.SharedPrefixOn
+	}
+	return moelightning.SharedPrefixOff
+}
+
 // runServe demonstrates the streaming serving API on the tiny
 // functional engine: continuous admission, per-token streams,
 // mid-generation cancellation, and TTFT/TPOT serving metrics.
 // -kvdtype int8 serves the same waves over the group-quantized paged
-// cache (~9/32 the KV footprint).
-func runServe(kvDtype moelightning.KVDtype, jsonPath string) error {
+// cache (~9/32 the KV footprint). The demo requests share a 16-token
+// system prompt, so with -sharedprefix (the default) every request
+// past the wave's first maps that prefix instead of prefilling it.
+func runServe(kvDtype moelightning.KVDtype, prefix moelightning.SharedPrefixMode, jsonPath string) error {
 	const genLen = 8
+	const sysPrompt = 16 // shared system-prompt tokens (one KV block)
 	srv, err := moelightning.NewServer(moelightning.ServerConfig{
-		Model:   moelightning.TinyMoE(),
-		Seed:    2024,
-		GenLen:  genLen,
-		KVDtype: kvDtype,
+		Model:          moelightning.TinyMoE(),
+		Seed:           2024,
+		GenLen:         genLen,
+		KVDtype:        kvDtype,
+		SharedPrefixKV: prefix,
 	})
 	if err != nil {
 		return err
@@ -188,7 +201,10 @@ func runServe(kvDtype moelightning.KVDtype, jsonPath string) error {
 
 	reqs := make([]moelightning.Request, 6)
 	for i := range reqs {
-		reqs[i] = moelightning.Request{ID: i + 1, PromptLen: 4 + 3*i, GenLen: genLen}
+		reqs[i] = moelightning.Request{
+			ID: i + 1, PromptLen: sysPrompt + 4 + 3*i, GenLen: genLen,
+			PrefixID: 7, PrefixLen: sysPrompt,
+		}
 	}
 	handles, err := srv.SubmitBatch(context.Background(), reqs)
 	if err != nil {
@@ -221,6 +237,8 @@ func runServe(kvDtype moelightning.KVDtype, jsonPath string) error {
 	fmt.Printf("kv %v: waves %d, deferred %d, canceled %d; prefill %d tokens at %.0f tok/s; %d tokens at %.0f tok/s; TTFT %v, TPOT %v\n",
 		kvDtype, st.Waves, st.Deferred, st.Canceled, st.PrefillTokens, st.PrefillTokensPerSecond,
 		st.GeneratedTokens, st.TokensPerSecond, st.AvgTTFT, st.AvgTPOT)
+	fmt.Printf("shared prefix: %d tokens mapped (hit ratio %.0f%%), %d copy-on-write copies\n",
+		st.PrefixHitTokens, 100*st.PrefixHitRatio, st.CowCopies)
 	warmHit := 0.0
 	if acq := st.ExpertHits + st.ExpertMisses; acq > 0 {
 		warmHit = 100 * float64(st.ExpertHits) / float64(acq)
@@ -242,6 +260,9 @@ func runServe(kvDtype moelightning.KVDtype, jsonPath string) error {
 			PrefillPerSec:   st.PrefillTokensPerSecond,
 			TTFT:            traffic.DurationsMS(st.AvgTTFT, st.TTFTP50, st.TTFTP95, st.TTFTP99),
 			TPOT:            traffic.DurationsMS(st.AvgTPOT, st.TPOTP50, st.TPOTP95, st.TPOTP99),
+			PrefixHitTokens: st.PrefixHitTokens,
+			PrefixHitRatio:  st.PrefixHitRatio,
+			CowCopies:       st.CowCopies,
 		}
 		if err := traffic.WriteJSON(jsonPath, out); err != nil {
 			return err
@@ -266,6 +287,9 @@ type serveJSON struct {
 	PrefillPerSec   float64           `json:"prefill_tokens_per_sec"`
 	TTFT            traffic.LatencyMS `json:"ttft_ms"`
 	TPOT            traffic.LatencyMS `json:"tpot_ms"`
+	PrefixHitTokens int               `json:"prefix_hit_tokens"`
+	PrefixHitRatio  float64           `json:"prefix_hit_ratio"`
+	CowCopies       int64             `json:"cow_copies"`
 }
 
 // runSLO is the standing serve benchmark: seeded open-loop scenarios
@@ -274,19 +298,20 @@ type serveJSON struct {
 // multiples. Each sweep point reports goodput under the per-cohort SLOs
 // and TTFT/TPOT percentiles; the knee marks where extra offered load
 // stops buying goodput. The whole result lands in BENCH_serve.json.
-func runSLO(kvDtype moelightning.KVDtype, rps float64, requests int, scales []float64, seed int64, jsonPath string) error {
+func runSLO(kvDtype moelightning.KVDtype, prefix moelightning.SharedPrefixMode, rps float64, requests int, scales []float64, seed int64, jsonPath string) error {
 	if len(scales) < 3 {
 		return fmt.Errorf("slo: need >= 3 sweep scales, got %v", scales)
 	}
 	const genLen = 10
 	factory := func(scale float64) (traffic.ServerHooks, error) {
 		srv, err := moelightning.NewServer(moelightning.ServerConfig{
-			Model:      moelightning.TinyMoE(),
-			Seed:       seed,
-			GenLen:     genLen,
-			MaxContext: 64,
-			KVDtype:    kvDtype,
-			SLOAware:   true,
+			Model:          moelightning.TinyMoE(),
+			Seed:           seed,
+			GenLen:         genLen,
+			MaxContext:     64,
+			KVDtype:        kvDtype,
+			SLOAware:       true,
+			SharedPrefixKV: prefix,
 		})
 		if err != nil {
 			return traffic.ServerHooks{}, err

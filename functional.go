@@ -47,6 +47,11 @@ type FunctionalOptions struct {
 	// (<= 0 selects two layers' expert sets). Output is bit-identical
 	// for any value; a smaller pool just demand-fetches more.
 	ExpertResidencyBytes int
+	// SharedPrefixKV controls shared-prefix KV reuse (the zero value is
+	// SharedPrefixOn): requests declaring a common prefix share cache
+	// blocks and skip the matched prefill. Bit-identical either way —
+	// Verify holds with sharing on.
+	SharedPrefixKV SharedPrefixMode
 }
 
 func (o *FunctionalOptions) defaults() {
@@ -78,6 +83,13 @@ type FunctionalResult struct {
 	// spent in the packed prefill pass.
 	PrefillTokens          int
 	PrefillTokensPerSecond float64
+	// PrefixHitTokens / PrefixHitRatio / CowCopies summarize
+	// shared-prefix KV reuse: prompt tokens mapped from resident shared
+	// prefixes instead of prefilled, their share of all prompt tokens,
+	// and copy-on-write block copies on divergence.
+	PrefixHitTokens int
+	PrefixHitRatio  float64
+	CowCopies       int64
 	// HtoDBytes / DtoHBytes / PagesMoved account the data movement the
 	// pipeline performed (bytes / page count).
 	HtoDBytes, DtoHBytes, PagesMoved int64
@@ -116,6 +128,7 @@ func RunFunctional(cfg ModelConfig, requests []Request, opts FunctionalOptions) 
 		KVDtype:              opts.KVDtype,
 		PrefillChunk:         opts.PrefillChunk,
 		ExpertResidencyBytes: opts.ExpertResidencyBytes,
+		SharedPrefixKV:       opts.SharedPrefixKV,
 	})
 	if err != nil {
 		return FunctionalResult{}, err
@@ -142,6 +155,9 @@ func RunFunctional(cfg ModelConfig, requests []Request, opts FunctionalOptions) 
 	out.Deferred = st.Deferred
 	out.PrefillTokens = st.PrefillTokens
 	out.PrefillTokensPerSecond = st.PrefillTokensPerSecond
+	out.PrefixHitTokens = st.PrefixHitTokens
+	out.PrefixHitRatio = st.PrefixHitRatio
+	out.CowCopies = st.CowCopies
 	out.HtoDBytes = st.HtoDBytes
 	out.DtoHBytes = st.DtoHBytes
 	out.PagesMoved = st.PagesMoved

@@ -34,6 +34,18 @@ type Config struct {
 	// quantized waves batch bigger instead of just fitting longer.
 	TokenBytes int
 	CacheBytes int
+	// SharedPrefix makes the capacity check charge only NEW tokens for
+	// a request whose declared prefix (workload.Request.PrefixID /
+	// PrefixLen) is already placed in this round: the engine maps those
+	// blocks instead of allocating them, so admission should reflect
+	// true residual demand. The discount is rounded down to whole cache
+	// blocks of BlockTokens — sharing granularity — and generation room
+	// is always charged in full. MicroBatch.PromptTokens stays the real
+	// prompt total (it feeds compute-balance metrics, not capacity).
+	SharedPrefix bool
+	// BlockTokens is the KV cache's tokens-per-block geometry; required
+	// when SharedPrefix is set.
+	BlockTokens int
 }
 
 // byteAware reports whether the capacity check runs in bytes.
@@ -61,6 +73,9 @@ func (c Config) Validate() error {
 	}
 	if !c.byteAware() && c.CacheTokens <= 0 {
 		return fmt.Errorf("batching: invalid cache=%d", c.CacheTokens)
+	}
+	if c.SharedPrefix && c.BlockTokens <= 0 {
+		return fmt.Errorf("batching: SharedPrefix needs a positive BlockTokens, got %d", c.BlockTokens)
 	}
 	return nil
 }
@@ -109,12 +124,23 @@ func batchInOrder(queue []workload.Request, cfg Config) (batches []MicroBatch, a
 		return nil, nil, err
 	}
 	// partitions under construction, and their token sums (Alg. 2 l.1-3).
+	// sums carries real prompt tokens (reported in MicroBatch); charged
+	// carries capacity-relevant tokens — identical unless SharedPrefix
+	// discounts a matched prefix.
 	parts := make([][]workload.Request, cfg.NumMicroBatches)
 	sums := make([]int, cfg.NumMicroBatches)
+	charged := make([]int, cfg.NumMicroBatches)
 	live := make([]int, 0, cfg.NumMicroBatches) // indices of open partitions
 	for i := range parts {
 		parts[i] = make([]workload.Request, 0, cfg.MicroBatchSize)
 		live = append(live, i)
+	}
+	// seen tracks, per prefix id, the longest declared prefix already
+	// placed anywhere in the round — the wave's cache is shared across
+	// micro-batches, so a follower's discount is partition-independent.
+	var seen map[int]int
+	if cfg.SharedPrefix {
+		seen = make(map[int]int)
 	}
 
 	for _, req := range queue {
@@ -122,23 +148,31 @@ func batchInOrder(queue []workload.Request, cfg Config) (batches []MicroBatch, a
 			aborted = append(aborted, req) // l.6-7
 			continue
 		}
-		// argmin over open partitions (l.8).
+		// argmin over open partitions (l.8), by capacity-relevant load.
 		idx := live[0]
 		for _, i := range live[1:] {
-			if sums[i] < sums[idx] {
+			if charged[i] < charged[idx] {
 				idx = i
 			}
 		}
 		// Capacity check (l.9): prompt tokens so far + this prompt +
 		// generation room for every request including this one —
 		// counted in bytes at the codec's per-token rate when the
-		// byte-aware budget is set, in tokens otherwise.
-		if cfg.overBudget(sums[idx] + req.PromptLen + (1+len(parts[idx]))*cfg.GenLen) {
+		// byte-aware budget is set, in tokens otherwise. A shared-prefix
+		// match charges only the unshared tail of the prompt.
+		charge := req.PromptLen - cfg.prefixDiscount(req, seen)
+		if cfg.overBudget(charged[idx] + charge + (1+len(parts[idx]))*cfg.GenLen) {
 			aborted = append(aborted, req) // l.10
 			continue
 		}
 		parts[idx] = append(parts[idx], req) // l.12-13
 		sums[idx] += req.PromptLen
+		charged[idx] += charge
+		if cfg.SharedPrefix && req.PrefixID != 0 {
+			if eff := min(req.PrefixLen, req.PromptLen); eff > seen[req.PrefixID] {
+				seen[req.PrefixID] = eff
+			}
+		}
 		if len(parts[idx]) == cfg.MicroBatchSize { // l.14-18
 			batches = append(batches, MicroBatch{Requests: parts[idx], PromptTokens: sums[idx]})
 			live = remove(live, idx)
@@ -151,6 +185,24 @@ func batchInOrder(queue []workload.Request, cfg Config) (batches []MicroBatch, a
 		}
 	}
 	return batches, aborted, nil
+}
+
+// prefixDiscount is the token count a request's placement does NOT
+// charge against the cache budget: the block-aligned part of its
+// declared prefix that an already-placed request also declared, which
+// the engine will map rather than allocate. At least one token of the
+// prompt is always charged (the last token is always computed), and a
+// match shorter than one block discounts nothing.
+func (c Config) prefixDiscount(req workload.Request, seen map[int]int) int {
+	if !c.SharedPrefix || req.PrefixID == 0 {
+		return 0
+	}
+	d := min(req.PrefixLen, req.PromptLen-1, seen[req.PrefixID])
+	d = d / c.BlockTokens * c.BlockTokens
+	if d < c.BlockTokens {
+		return 0
+	}
+	return d
 }
 
 func remove(xs []int, v int) []int {

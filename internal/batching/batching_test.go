@@ -311,3 +311,90 @@ func TestBatchOrderedSameCapacitySemantics(t *testing.T) {
 		t.Error("BatchOrdered on a length-sorted queue must equal Batch")
 	}
 }
+
+// TestSharedPrefixValidate: SharedPrefix without a block geometry is a
+// config error — the discount is defined in whole cache blocks.
+func TestSharedPrefixValidate(t *testing.T) {
+	cfg := Config{NumMicroBatches: 1, MicroBatchSize: 2, CacheTokens: 100, SharedPrefix: true}
+	if _, _, err := Batch(nil, cfg); err == nil {
+		t.Error("SharedPrefix without BlockTokens accepted")
+	}
+	cfg.BlockTokens = 16
+	if _, _, err := Batch(nil, cfg); err != nil {
+		t.Errorf("valid shared-prefix config rejected: %v", err)
+	}
+}
+
+// TestSharedPrefixDiscountAdmitsMore: requests sharing a declared
+// prefix charge only their unshared tail once the prefix is placed, so
+// a budget that defers plain requests admits the whole sharing cohort —
+// the Alg. 2 counterpart of mapping blocks instead of allocating them.
+func TestSharedPrefixDiscountAdmitsMore(t *testing.T) {
+	queue := make([]workload.Request, 4)
+	for i := range queue {
+		queue[i] = workload.Request{ID: i + 1, PromptLen: 40, GenLen: 10, PrefixID: 7, PrefixLen: 32}
+	}
+	base := Config{NumMicroBatches: 1, MicroBatchSize: 4, GenLen: 10, CacheTokens: 120, BlockTokens: 16}
+
+	// Without sharing the classic check holds: 40+10=50, 90+20... third
+	// request would reach 130+30 > 120, so only two place.
+	batches, aborted, err := Batch(queue, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 1 || len(batches[0].Requests) != 2 || len(aborted) != 2 {
+		t.Fatalf("no sharing: %d placed, %d aborted; want 2/2", len(batches[0].Requests), len(aborted))
+	}
+
+	shared := base
+	shared.SharedPrefix = true
+	batches, aborted, err = Batch(queue, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First charges 40; followers charge 40-32=8 each: 40+3*8+4*10 = 104
+	// <= 120 — all four fit.
+	if len(batches) != 1 || len(batches[0].Requests) != 4 || len(aborted) != 0 {
+		t.Fatalf("sharing: batches %+v aborted %d, want all 4 placed", batches, len(aborted))
+	}
+	// PromptTokens stays the real prompt total, not the charged one.
+	if batches[0].PromptTokens != 160 {
+		t.Errorf("PromptTokens = %d, want 160", batches[0].PromptTokens)
+	}
+}
+
+// TestSharedPrefixDiscountRules: the discount is block-floored, capped
+// below the full prompt (the last token is always computed), gated on a
+// block-size match, and scoped per prefix id.
+func TestSharedPrefixDiscountRules(t *testing.T) {
+	cfg := Config{NumMicroBatches: 1, MicroBatchSize: 8, GenLen: 0, CacheTokens: 1 << 20,
+		SharedPrefix: true, BlockTokens: 16}
+	seen := map[int]int{}
+	if d := cfg.prefixDiscount(workload.Request{PromptLen: 40, PrefixID: 1, PrefixLen: 32}, seen); d != 0 {
+		t.Errorf("unseen prefix discounted %d", d)
+	}
+	seen[1] = 32
+	// Block-aligned full match.
+	if d := cfg.prefixDiscount(workload.Request{PromptLen: 40, PrefixID: 1, PrefixLen: 32}, seen); d != 32 {
+		t.Errorf("aligned discount = %d, want 32", d)
+	}
+	// Non-aligned declared prefix floors to whole blocks.
+	if d := cfg.prefixDiscount(workload.Request{PromptLen: 40, PrefixID: 1, PrefixLen: 25}, seen); d != 16 {
+		t.Errorf("floored discount = %d, want 16", d)
+	}
+	// A prompt that IS the prefix still charges its last token.
+	if d := cfg.prefixDiscount(workload.Request{PromptLen: 33, PrefixID: 1, PrefixLen: 33}, seen); d != 32 {
+		t.Errorf("full-prompt discount = %d, want 32", d)
+	}
+	if d := cfg.prefixDiscount(workload.Request{PromptLen: 32, PrefixID: 1, PrefixLen: 32}, seen); d != 16 {
+		t.Errorf("exact-prompt discount = %d, want 16 (last token charged, floored)", d)
+	}
+	// Sub-block matches share nothing.
+	if d := cfg.prefixDiscount(workload.Request{PromptLen: 40, PrefixID: 1, PrefixLen: 8}, seen); d != 0 {
+		t.Errorf("sub-block discount = %d, want 0", d)
+	}
+	// Different prefix id: no discount.
+	if d := cfg.prefixDiscount(workload.Request{PromptLen: 40, PrefixID: 2, PrefixLen: 32}, seen); d != 0 {
+		t.Errorf("foreign prefix discounted %d", d)
+	}
+}

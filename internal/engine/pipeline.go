@@ -96,6 +96,7 @@ type Pipeline struct {
 	normedHead   []float32
 	lookahead    int
 	prefillChunk int
+	sharedPrefix bool
 
 	// expSrc adapts the pager to the expertSource the kernels consume,
 	// one real layer at a time. The GPU lane and the single-threaded
@@ -135,6 +136,12 @@ type Counters struct {
 	HtoDBytes, DtoHBytes, PinBytes   atomic.Int64
 	PagesMoved, GPUKernels, CPUAttns atomic.Int64
 
+	// PrefixHitTokens counts prompt tokens whose KV was mapped from a
+	// resident shared prefix instead of being recomputed: the FLOPs and
+	// cache bytes prefix sharing saved. CowCopies counts copy-on-write
+	// block copies (divergence into a shared block).
+	PrefixHitTokens, CowCopies atomic.Int64
+
 	// ExpertPaging is the expert-weight pager's traffic: warm hits,
 	// demand-fetch misses, prefetches, evictions and bytes fetched.
 	ExpertPaging paging.Stats
@@ -171,6 +178,13 @@ type Config struct {
 	// reads each token's own cached prefix, so the output is
 	// bit-identical for any chunk size.
 	PrefillChunk int
+	// SharedPrefix enables shared-prefix KV reuse during prefill:
+	// sequences of a wave whose prompts open with identical tokens map
+	// the first sequence's cache blocks in place (refcounted,
+	// copy-on-write on divergence) and skip prefilling the matched
+	// tokens. Output is bit-identical with the knob on or off — the
+	// mapped rows are the rows the follower would have computed.
+	SharedPrefix bool
 	// ExpertResidencyBytes caps the GPU-resident expert-weight pool:
 	// the pager keeps this many bytes of expert FFN blocks resident
 	// (rounded down to whole blocks, minimum one). <= 0 selects two
@@ -225,7 +239,7 @@ func NewPipeline(w *Weights, gpu, pinned, cacheArena *memory.Arena, numSeqs int,
 	if err != nil {
 		return nil, err
 	}
-	cache, err := kvcache.New(cacheArena, w.Cfg.Layers, w.Cfg.KVDim(), 16, numSeqs*cfg.MaxContext, cfg.KVDtype)
+	cache, err := kvcache.New(cacheArena, w.Cfg.Layers, w.Cfg.KVDim(), kvcache.DefaultBlockTokens, numSeqs*cfg.MaxContext, cfg.KVDtype)
 	if err != nil {
 		return nil, err
 	}
@@ -348,6 +362,7 @@ func NewPipeline(w *Weights, gpu, pinned, cacheArena *memory.Arena, numSeqs int,
 
 	p.lanes = newLaneSet()
 	p.lookahead = cfg.Lookahead
+	p.sharedPrefix = cfg.SharedPrefix
 	p.prefillChunk = cfg.PrefillChunk
 	if p.prefillChunk <= 0 {
 		p.prefillChunk = DefaultPrefillChunk

@@ -141,6 +141,9 @@ func (p *Pipeline) GenerateStream(prompts [][]int, genLen int, sink StepSink, st
 			}
 		}
 	}
+	// Decode-time writes into shared history (multi-turn continuations)
+	// may copy-on-write after prefill counted; refresh the tally.
+	p.Counters.CowCopies.Store(p.cache.CowCopies())
 	return out, nil
 }
 

@@ -47,19 +47,31 @@ type prefillSpan struct {
 // so a retirement leaves the survivors' packed rows carrying exactly
 // the values they would hold alone: their computation stays
 // bit-identical.
+//
+// With SharedPrefix enabled, sequences whose prompts open with the
+// same tokens as an earlier sequence of the wave skip the matched
+// prefix entirely: the donor's cache blocks are mapped in place
+// (refcount++, zero copies, zero FLOPs) and prefill starts at the
+// first unmatched position. Attention reads the shared prefix through
+// the same block views as everything else; because the donor's K/V
+// rows for a prefix token depend only on (token id, position), the
+// mapped rows are bit-identical to the rows the follower would have
+// computed, so sharing changes no output bit under either codec.
 func (p *Pipeline) prefill(prompts [][]int) error {
 	cfg := p.w.Cfg
 	layout := p.layout
 	q, kv := cfg.QDim(), cfg.KVDim()
 
+	skip, donor := p.planPrefixReuse(prompts)
+
 	total := 0
-	rowOf := make([]int, len(prompts)) // first row of each sequence
+	rowOf := make([]int, len(prompts)) // first packed row of each sequence
 	for s, prompt := range prompts {
 		if len(prompt) == 0 {
 			return fmt.Errorf("engine: empty prompt for sequence %d", s)
 		}
 		rowOf[s] = total
-		total += len(prompt)
+		total += len(prompt) - skip[s]
 	}
 
 	chunk := p.prefillChunk
@@ -106,8 +118,8 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 	}
 
 	for s, prompt := range prompts {
-		for t, tok := range prompt {
-			copy(x.Row(rowOf[s]+t), p.w.Embedding.Row(tok))
+		for t := skip[s]; t < len(prompt); t++ {
+			copy(x.Row(rowOf[s]+t-skip[s]), p.w.Embedding.Row(prompt[t]))
 		}
 	}
 
@@ -139,9 +151,9 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 			m := 0
 			allLive := true
 			for s, prompt := range prompts {
-				a, b := lo-rowOf[s], hi-rowOf[s]
-				if a < 0 {
-					a = 0
+				a, b := lo-rowOf[s]+skip[s], hi-rowOf[s]+skip[s]
+				if a < skip[s] {
+					a = skip[s]
 				}
 				if b > len(prompt) {
 					b = len(prompt)
@@ -176,7 +188,7 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 				}
 				for _, sp := range spans {
 					for t := sp.tokLo; t < sp.tokHi; t++ {
-						copy(xPack.Row(sp.off+(t-sp.tokLo)), x.Row(rowOf[sp.seq]+t))
+						copy(xPack.Row(sp.off+(t-sp.tokLo)), x.Row(rowOf[sp.seq]+t-skip[sp.seq]))
 					}
 				}
 				rows = tensor.FromSlice(m, cfg.Hidden, xPack.Data[:m*cfg.Hidden])
@@ -192,6 +204,19 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 			// ships. An out-of-blocks Append retires just that sequence.
 			for _, sp := range spans {
 				s := sp.seq
+				// First computed token at this layer: map the shared
+				// prefix into this sequence's stream before appending the
+				// divergent tail. The donor's rows for this layer are all
+				// appended by now (its packed rows precede ours), so its
+				// full blocks are indexable. A failed attach (donor
+				// retired, blocks reclaimed) fails only this sequence.
+				if skip[s] > 0 && sp.tokLo == skip[s] {
+					if err := p.attachPrefix(s, l, prompts, skip, donor); err != nil {
+						p.seqErr[s] = err
+						p.retire(s)
+						continue
+					}
+				}
 				for t := sp.tokLo; t < sp.tokHi; t++ {
 					r := sp.off + (t - sp.tokLo)
 					if err := p.cache.Append(s, l, keys.Row(r), values.Row(r)); err != nil {
@@ -263,7 +288,7 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 				}
 				for r := sp.off; r < sp.off+(sp.tokHi-sp.tokLo); r++ {
 					if !allLive {
-						copy(x.Row(rowOf[sp.seq]+positions[r]), xPack.Row(r))
+						copy(x.Row(rowOf[sp.seq]+positions[r]-skip[sp.seq]), xPack.Row(r))
 					}
 					for _, e := range chosen[r] {
 						p.ExpertLoad[l][e]++
@@ -278,15 +303,87 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 	}
 
 	// Last-token hidden states seed decode (retired sequences never
-	// reach decode, so their stale rows are harmless).
-	prefilled := 0
+	// reach decode, so their stale rows are harmless). PrefillTokens
+	// counts tokens actually computed; prefix-mapped tokens land in
+	// PrefixHitTokens instead.
+	prefilled, reused := 0, 0
 	for s, prompt := range prompts {
 		if p.seqErr[s] != nil {
 			continue
 		}
-		copy(p.hidden.Row(s), x.Row(rowOf[s]+len(prompt)-1))
-		prefilled += len(prompt)
+		copy(p.hidden.Row(s), x.Row(rowOf[s]+len(prompt)-1-skip[s]))
+		prefilled += len(prompt) - skip[s]
+		reused += skip[s]
 	}
 	p.PrefillTokens = prefilled
+	p.Counters.PrefixHitTokens.Add(int64(reused))
+	p.Counters.CowCopies.Store(p.cache.CowCopies())
+	return nil
+}
+
+// planPrefixReuse pairs each sequence with the earlier sequence of the
+// wave sharing its longest common prompt prefix, block-rounded to what
+// AttachPrefix can map: a non-block-aligned match keeps its partial
+// tail only when the donor's prompt runs through that block boundary
+// (the tail block must be full on the donor's side to be indexable);
+// otherwise it floors to whole blocks. Matches shorter than one block
+// share nothing, and at least the prompt's last token is always
+// computed — decode needs its hidden state. Returns per-sequence skip
+// lengths and donor indices (-1 for none).
+func (p *Pipeline) planPrefixReuse(prompts [][]int) (skip, donor []int) {
+	skip = make([]int, len(prompts))
+	donor = make([]int, len(prompts))
+	for s := range donor {
+		donor[s] = -1
+	}
+	if !p.sharedPrefix {
+		return skip, donor
+	}
+	bt := p.cache.BlockTokens()
+	for s := 1; s < len(prompts); s++ {
+		best, bestD := 0, -1
+		for d := 0; d < s; d++ {
+			lcp := 0
+			n := len(prompts[s])
+			if len(prompts[d]) < n {
+				n = len(prompts[d])
+			}
+			for lcp < n && prompts[s][lcp] == prompts[d][lcp] {
+				lcp++
+			}
+			if lcp > best {
+				best, bestD = lcp, d
+			}
+		}
+		if best > len(prompts[s])-1 {
+			best = len(prompts[s]) - 1
+		}
+		if bestD >= 0 && best%bt != 0 && (best/bt+1)*bt > len(prompts[bestD]) {
+			best = best / bt * bt
+		}
+		if best < bt {
+			continue
+		}
+		skip[s], donor[s] = best, bestD
+	}
+	return skip, donor
+}
+
+// attachPrefix maps sequence s's planned shared prefix at one layer:
+// it (idempotently) indexes the donor's full blocks, then attaches the
+// chain. Anything short of a full attach — donor retired and its
+// blocks reclaimed, or the pool too tight to have kept them — is
+// reported as block exhaustion so the caller's per-sequence isolation
+// path handles it.
+func (p *Pipeline) attachPrefix(s, l int, prompts [][]int, skip, donor []int) error {
+	d := donor[s]
+	if p.seqErr[d] == nil {
+		p.cache.IndexPrefix(d, l, prompts[d])
+	}
+	got := p.cache.AttachPrefix(s, l, prompts[d], skip[s])
+	if got != skip[s] {
+		return fmt.Errorf("%w (seq %d layer %d: shared prefix unavailable, attached %d of %d)",
+			kvcache.ErrOutOfBlocks, s, l, got, skip[s])
+	}
 	return nil
 }

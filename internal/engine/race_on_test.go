@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector is compiled in, so
+// heavyweight single-threaded fixtures can stand down while the
+// concurrency tests still run under -race.
+const raceEnabled = true

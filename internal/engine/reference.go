@@ -173,17 +173,40 @@ func (r *Reference) ContextLen(s int) int { return r.cache.Len(s) }
 
 // PromptsFromRequests derives deterministic synthetic prompts from a
 // workload request set (token IDs hash from the request ID), so the
-// functional engines can run paper-shaped workloads.
+// functional engines can run paper-shaped workloads. A request with a
+// nonzero PrefixID opens with PrefixLen tokens hashed from the prefix
+// ID instead — every request naming the same system prompt shares a
+// bit-identical leading token run, which is what the prefix-sharing KV
+// cache keys on.
 func PromptsFromRequests(reqs []workload.Request, vocab int) [][]int {
 	prompts := make([][]int, len(reqs))
 	for i, r := range reqs {
-		p := make([]int, r.PromptLen)
-		state := uint64(r.ID)*2654435761 + 12345
-		for j := range p {
+		prompts[i] = syntheticPrompt(r, vocab)
+	}
+	return prompts
+}
+
+func syntheticPrompt(r workload.Request, vocab int) []int {
+	p := make([]int, r.PromptLen)
+	n := 0
+	if r.PrefixID != 0 {
+		n = r.PrefixLen
+		if n > r.PromptLen {
+			n = r.PromptLen
+		}
+		if n < 0 {
+			n = 0
+		}
+		state := uint64(r.PrefixID)*2654435761 + 98765
+		for j := 0; j < n; j++ {
 			state = state*6364136223846793005 + 1442695040888963407
 			p[j] = int(state>>33) % vocab
 		}
-		prompts[i] = p
 	}
-	return prompts
+	state := uint64(r.ID)*2654435761 + 12345
+	for j := n; j < r.PromptLen; j++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		p[j] = int(state>>33) % vocab
+	}
+	return p
 }

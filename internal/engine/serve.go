@@ -58,6 +58,11 @@ type ServeConfig struct {
 	// the front of the admission order (<= 0 selects
 	// DefaultStarvationWaves). Ignored without SLOAware.
 	StarvationWaves int
+	// SharedPrefixKV enables shared-prefix KV reuse inside every wave's
+	// pipeline (Config.SharedPrefix) and makes the Alg. 2 batcher charge
+	// only the unshared bytes of a request whose declared prefix is
+	// already placed in the wave. Bit-identical output either way.
+	SharedPrefixKV bool
 }
 
 // ServeResult is the outcome of serving a queue.
@@ -74,6 +79,13 @@ type ServeResult struct {
 	// spent in the packed prefill pass.
 	PrefillTokens          int
 	PrefillTokensPerSecond float64
+	// PrefixHitTokens / PrefixHitRatio / CowCopies summarize
+	// shared-prefix KV reuse: prompt tokens mapped from resident
+	// prefixes (vs prefilled), their share of all prompt tokens, and
+	// copy-on-write block copies on divergence.
+	PrefixHitTokens int
+	PrefixHitRatio  float64
+	CowCopies       int64
 	// Data-movement totals across all waves (bytes / pages).
 	HtoDBytes, DtoHBytes, PagesMoved int64
 	// Expert weight-paging totals across all waves: bytes of expert
@@ -115,6 +127,9 @@ func Serve(w *Weights, gpu, pinned, cacheArena *memory.Arena, queue []workload.R
 	res.Deferred = st.Deferred
 	res.PrefillTokens = st.PrefillTokens
 	res.PrefillTokensPerSecond = st.PrefillTokensPerSecond
+	res.PrefixHitTokens = st.PrefixHitTokens
+	res.PrefixHitRatio = st.PrefixHitRatio
+	res.CowCopies = st.CowCopies
 	res.HtoDBytes = st.HtoDBytes
 	res.DtoHBytes = st.DtoHBytes
 	res.PagesMoved = st.PagesMoved

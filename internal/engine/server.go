@@ -209,6 +209,14 @@ type ServerStats struct {
 	// time the waves spent in the packed prefill pass.
 	PrefillTokens          int
 	PrefillTokensPerSecond float64
+	// PrefixHitTokens counts prompt tokens served by mapping a shared
+	// resident prefix instead of prefilling them; PrefixHitRatio is
+	// their share of all prompt tokens handled (hit + prefilled).
+	// CowCopies counts copy-on-write block copies triggered by writes
+	// into shared blocks.
+	PrefixHitTokens int
+	PrefixHitRatio  float64
+	CowCopies       int64
 	// AvgTTFT is the mean time from Submit to a request's first token;
 	// AvgTPOT the mean time per output token after the first.
 	AvgTTFT, AvgTPOT time.Duration
@@ -267,6 +275,8 @@ type serverAccum struct {
 	waves, deferred                        int
 	tokens                                 int
 	prefillTokens                          int
+	prefixHitTokens                        int
+	cowCopies                              int64
 	prefillTime                            time.Duration
 	ttftSum, tpotSum                       time.Duration
 	ttftN, tpotN                           int
@@ -294,6 +304,8 @@ func batchConfig(cfg ServeConfig, kvDim int) batching.Config {
 		CacheTokens:     cfg.CacheTokens,
 		TokenBytes:      kvcache.TokenBytes(kvDim, cfg.KVDtype),
 		CacheBytes:      cfg.CacheTokens * kvcache.TokenBytes(kvDim, kvcache.F32),
+		SharedPrefix:    cfg.SharedPrefixKV,
+		BlockTokens:     kvcache.DefaultBlockTokens,
 	}
 }
 
@@ -420,6 +432,8 @@ func (s *Server) Stats() ServerStats {
 		Waves: a.waves, Deferred: a.deferred,
 		GeneratedTokens: a.tokens,
 		PrefillTokens:   a.prefillTokens,
+		PrefixHitTokens: a.prefixHitTokens,
+		CowCopies:       a.cowCopies,
 		SLORequests:     a.sloRequests, SLOMet: a.sloMet,
 		SLOMissTTFT: a.sloMissTTFT, SLOMissTPOT: a.sloMissTPOT,
 		MaxDeferrals: a.maxDeferrals,
@@ -439,6 +453,9 @@ func (s *Server) Stats() ServerStats {
 	}
 	if a.prefillTime > 0 {
 		st.PrefillTokensPerSecond = float64(a.prefillTokens) / a.prefillTime.Seconds()
+	}
+	if handled := a.prefixHitTokens + a.prefillTokens; handled > 0 {
+		st.PrefixHitRatio = float64(a.prefixHitTokens) / float64(handled)
 	}
 	if a.ttftN > 0 {
 		st.AvgTTFT = a.ttftSum / time.Duration(a.ttftN)
@@ -647,6 +664,7 @@ func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([
 		Partition:            partition,
 		KVDtype:              s.cfg.KVDtype,
 		PrefillChunk:         s.cfg.PrefillChunk,
+		SharedPrefix:         s.cfg.SharedPrefixKV,
 		ExpertResidencyBytes: s.cfg.ExpertResidencyBytes,
 	})
 	if err != nil {
@@ -670,6 +688,8 @@ func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([
 	s.stats.expHits += pl.Counters.ExpertPaging.Hits.Load()
 	s.stats.expMisses += pl.Counters.ExpertPaging.Misses.Load()
 	s.stats.prefillTokens += pl.PrefillTokens
+	s.stats.prefixHitTokens += int(pl.Counters.PrefixHitTokens.Load())
+	s.stats.cowCopies += pl.Counters.CowCopies.Load()
 	s.stats.prefillTime += pl.PrefillDuration
 	s.mu.Unlock()
 	if gerr != nil {

@@ -28,6 +28,30 @@
 // Gather remains as a fallback that materializes (for Int8:
 // dequantizes) the context into caller matrices.
 //
+// # Shared prefixes: refcounts, the hash index, and copy-on-write
+//
+// Blocks are refcounted and content-addressed, so sequences whose
+// prompts share a leading run of tokens can share physical blocks:
+//
+//   - Every block carries a reference count. Append allocates private
+//     blocks (one reference); AttachPrefix maps existing blocks into
+//     another sequence's stream, bumping their counts. Release
+//     decrements each block of the sequence and returns a block to the
+//     free pool only when its last reference drops — retiring one
+//     reader of a shared prefix never harms the survivors.
+//   - IndexPrefix registers a sequence's full (completely appended)
+//     blocks in a prefix index keyed by the running FNV-1a chain hash
+//     of every token up to and including the block. AttachPrefix
+//     resolves a token chain through that index — content addressing,
+//     not sequence identity — so any sequence whose prompt hashes to
+//     the same chain maps the same physical blocks, zero copies.
+//   - A write into a block with other readers (the partially-shared
+//     tail block of a non-block-aligned prefix, or a multi-turn
+//     continuation into shared history) copies the block to a private
+//     one first — copy-on-write — so divergence never corrupts the
+//     shared prefix. A write into a still-indexed private block
+//     unregisters it instead, keeping the index truthful.
+//
 // Invariants: a (sequence, layer) stream's length only advances after
 // the token's block is secured and its K/V stored, so a failed Append
 // (pool exhaustion included) leaves the stream exactly as it was and
@@ -63,6 +87,12 @@ const (
 // GroupSize is the Int8 codec's quantization group: one float32 scale
 // per 32 consecutive row values.
 const GroupSize = tensor.QGroupSize
+
+// DefaultBlockTokens is the engine's standard tokens-per-block
+// geometry. Prefix sharing granularity equals the block size: only
+// whole blocks are shared, so a coarser block shares less of a prefix
+// and a finer one spends more pool entries per sequence.
+const DefaultBlockTokens = 16
 
 func (d DType) String() string {
 	switch d {
@@ -100,13 +130,59 @@ type Cache struct {
 	groups     int
 	rowFloats  int
 
-	pool   []memory.Region // free blocks
-	arena  *memory.Arena
-	blocks map[seqLayer][]memory.Region
-	length map[seqLayer]int // tokens appended per sequence per layer
+	pool      []*block // free blocks
+	numBlocks int      // total physical blocks (pool + assigned)
+	arena     *memory.Arena
+	blocks    map[seqLayer][]*block
+	length    map[seqLayer]int // tokens appended per sequence per layer
+
+	// prefix is the content-addressed block index: chain hash of all
+	// tokens through a full block, per layer, to the physical block
+	// holding that span. Entries are registered by IndexPrefix and
+	// removed when the block is freed or written.
+	prefix    map[prefixKey]*block
+	cowCopies int64
 }
 
 type seqLayer struct{ seq, layer int }
+
+// block is one physical cache page plus its sharing state. refs counts
+// the sequences whose streams include it; it returns to the pool when
+// refs drops to zero. A block registered in the prefix index remembers
+// its chain hash so it can be deindexed on write or free.
+type block struct {
+	region  memory.Region
+	refs    int
+	hash    uint64
+	layer   int
+	indexed bool
+}
+
+type prefixKey struct {
+	hash  uint64
+	layer int
+}
+
+// chainSeed/chainExtend implement the FNV-1a chain hash over token
+// ids: the hash of a block chain is the hash of every token from
+// position 0 through the block's last token, so equal chains imply
+// equal full-prefix content (modulo hash collisions over int64 token
+// ids, which the synthetic token space cannot manufacture
+// accidentally).
+const chainSeed uint64 = 1469598103934665603
+
+func chainExtend(h uint64, tokens []int) uint64 {
+	const prime = 1099511628211
+	for _, t := range tokens {
+		u := uint64(t)
+		for i := 0; i < 8; i++ {
+			h ^= u & 0xff
+			h *= prime
+			u >>= 8
+		}
+	}
+	return h
+}
 
 // blockFloats is the size of one block in floats (K and V halves).
 func (c *Cache) blockFloats() int { return c.blockTokens * c.rowFloats * 2 }
@@ -133,8 +209,9 @@ func New(arena *memory.Arena, layers, kvDim, blockTokens, capacityTokens int, dt
 		kvDim:       kvDim,
 		blockTokens: blockTokens,
 		dtype:       dtype,
-		blocks:      make(map[seqLayer][]memory.Region),
+		blocks:      make(map[seqLayer][]*block),
 		length:      make(map[seqLayer]int),
+		prefix:      make(map[prefixKey]*block),
 		arena:       arena,
 	}
 	c.rowFloats = kvDim
@@ -149,9 +226,49 @@ func New(arena *memory.Arena, layers, kvDim, blockTokens, capacityTokens int, dt
 		if err != nil {
 			return nil, fmt.Errorf("kvcache: preallocating block %d of %d: %w", i, numBlocks, err)
 		}
-		c.pool = append(c.pool, r)
+		c.pool = append(c.pool, &block{region: r})
 	}
+	c.numBlocks = numBlocks
 	return c, nil
+}
+
+// takeBlock pops a free block and resets its sharing state to a fresh
+// private block (one reference, unindexed). Returns nil when the pool
+// is exhausted.
+func (c *Cache) takeBlock() *block {
+	if len(c.pool) == 0 {
+		return nil
+	}
+	b := c.pool[len(c.pool)-1]
+	c.pool = c.pool[:len(c.pool)-1]
+	b.refs = 1
+	b.hash = 0
+	b.layer = 0
+	b.indexed = false
+	return b
+}
+
+// unref drops one reference; the last reference deindexes the block
+// and returns it to the pool.
+func (c *Cache) unref(b *block) {
+	b.refs--
+	if b.refs > 0 {
+		return
+	}
+	c.deindex(b)
+	c.pool = append(c.pool, b)
+}
+
+// deindex removes a block's prefix-index registration, if any.
+func (c *Cache) deindex(b *block) {
+	if !b.indexed {
+		return
+	}
+	key := prefixKey{b.hash, b.layer}
+	if c.prefix[key] == b {
+		delete(c.prefix, key)
+	}
+	b.indexed = false
 }
 
 // FreeBlocks returns the number of unallocated blocks.
@@ -191,7 +308,10 @@ func (c *Cache) LayerLen(seq, layer int) int { return c.length[seqLayer{seq, lay
 // at a layer, at that layer's next position, quantizing on write when
 // the cache's dtype is Int8. The stream's length is committed only
 // after the token's block is secured, so a failed Append —
-// ErrOutOfBlocks included — leaves the stream unchanged.
+// ErrOutOfBlocks included — leaves the stream unchanged. Writing into
+// a block that other sequences also reference copies it to a private
+// block first (copy-on-write); writing into a private block that is
+// still advertised by the prefix index unregisters it instead.
 func (c *Cache) Append(seq, layer int, k, v []float32) error {
 	if len(k) != c.kvDim || len(v) != c.kvDim {
 		return fmt.Errorf("kvcache: k/v dim %d/%d != %d", len(k), len(v), c.kvDim)
@@ -204,18 +324,35 @@ func (c *Cache) Append(seq, layer int, k, v []float32) error {
 	blocks := c.blocks[key]
 	bi := pos / c.blockTokens
 	if bi == len(blocks) {
-		if len(c.pool) == 0 {
+		b := c.takeBlock()
+		if b == nil {
 			return fmt.Errorf("%w (seq %d layer %d pos %d)", ErrOutOfBlocks, seq, layer, pos)
 		}
-		blocks = append(blocks, c.pool[len(c.pool)-1])
-		c.pool = c.pool[:len(c.pool)-1]
+		blocks = append(blocks, b)
 		c.blocks[key] = blocks
 	}
 	if bi >= len(blocks) {
 		return fmt.Errorf("kvcache: non-contiguous append at pos %d (have %d blocks)", pos, len(blocks))
 	}
+	if blocks[bi].refs > 1 {
+		// Shared block: copy-on-write before mutating. Pool exhaustion
+		// here still leaves the stream untouched — the shared block
+		// stays in place and the length is not advanced.
+		fresh := c.takeBlock()
+		if fresh == nil {
+			return fmt.Errorf("%w (seq %d layer %d pos %d: copy-on-write)", ErrOutOfBlocks, seq, layer, pos)
+		}
+		copy(fresh.region.Data(), blocks[bi].region.Data())
+		c.unref(blocks[bi])
+		blocks[bi] = fresh
+		c.cowCopies++
+	} else {
+		// Private block, but possibly still advertised to future
+		// attachers: its content is about to change, so retract it.
+		c.deindex(blocks[bi])
+	}
 	row := pos % c.blockTokens
-	data := blocks[bi].Data()
+	data := blocks[bi].region.Data()
 	half := c.halfFloats()
 	if c.dtype == Int8 {
 		so := c.scalesOff()
@@ -253,7 +390,7 @@ func (c *Cache) BlockView(seq, layer int, keys, values []tensor.Mat) (k, v []ten
 		if rows > c.blockTokens {
 			rows = c.blockTokens
 		}
-		data := blocks[bi].Data()
+		data := blocks[bi].region.Data()
 		keys = append(keys, tensor.FromSlice(rows, c.kvDim, data[:rows*c.kvDim]))
 		values = append(values, tensor.FromSlice(rows, c.kvDim, data[half:half+rows*c.kvDim]))
 	}
@@ -280,7 +417,7 @@ func (c *Cache) QBlockView(seq, layer int, keys, values []tensor.QBlock) (k, v [
 		if rows > c.blockTokens {
 			rows = c.blockTokens
 		}
-		data := blocks[bi].Data()
+		data := blocks[bi].region.Data()
 		keys = append(keys, tensor.QBlock{
 			Rows: rows, Cols: c.kvDim, Group: GroupSize,
 			Codes:  data[:rows*c.packedCols],
@@ -317,7 +454,7 @@ func (c *Cache) Gather(seq, layer int, keys, values tensor.Mat) (ctx int, err er
 		if rows > c.blockTokens {
 			rows = c.blockTokens
 		}
-		data := blocks[bi].Data()
+		data := blocks[bi].region.Data()
 		if c.dtype == Int8 {
 			for t := 0; t < rows; t++ {
 				tensor.DequantizeRow(keys.Row(lo+t),
@@ -335,21 +472,111 @@ func (c *Cache) Gather(seq, layer int, keys, values tensor.Mat) (ctx int, err er
 	return n, nil
 }
 
-// Release frees every block of a sequence back to the pool.
+// Release drops the sequence's reference on every block of its
+// streams; blocks whose last reference drops return to the pool,
+// blocks still referenced by prefix-sharing survivors stay resident.
+// Releasing a sequence that holds no blocks — never admitted, or
+// already released — is a no-op.
 func (c *Cache) Release(seq int) {
 	for layer := 0; layer < c.layers; layer++ {
 		key := seqLayer{seq, layer}
-		c.pool = append(c.pool, c.blocks[key]...)
+		for _, b := range c.blocks[key] {
+			c.unref(b)
+		}
 		delete(c.blocks, key)
 		delete(c.length, key)
 	}
 }
 
-// UsedBlocks returns the number of blocks currently assigned.
-func (c *Cache) UsedBlocks() int {
-	n := 0
-	for _, b := range c.blocks {
-		n += len(b)
+// UsedBlocks returns the number of distinct physical blocks currently
+// assigned to at least one sequence. A block shared by many sequences
+// counts once — this is the pool-capacity view, numBlocks-FreeBlocks.
+func (c *Cache) UsedBlocks() int { return c.numBlocks - len(c.pool) }
+
+// CowCopies returns the cumulative number of copy-on-write block
+// copies performed since the cache was built.
+func (c *Cache) CowCopies() int64 { return c.cowCopies }
+
+// IndexPrefix registers sequence seq's full blocks at one layer in the
+// prefix index under the chain hash of tokens (the sequence's prompt).
+// Only completely appended blocks are registered — a partial tail
+// block's content is still mutable. Idempotent and first-writer-wins:
+// a chain already advertised by another block keeps its existing
+// entry. Call it after the donor's appends at the layer are complete
+// and before a follower's AttachPrefix.
+func (c *Cache) IndexPrefix(seq, layer int, tokens []int) {
+	key := seqLayer{seq, layer}
+	n := c.length[key]
+	if n > len(tokens) {
+		n = len(tokens)
 	}
-	return n
+	blocks := c.blocks[key]
+	h := chainSeed
+	for bi := 0; (bi+1)*c.blockTokens <= n; bi++ {
+		h = chainExtend(h, tokens[bi*c.blockTokens:(bi+1)*c.blockTokens])
+		b := blocks[bi]
+		if b.indexed {
+			continue
+		}
+		pk := prefixKey{h, layer}
+		if _, taken := c.prefix[pk]; taken {
+			continue
+		}
+		b.hash = h
+		b.layer = layer
+		b.indexed = true
+		c.prefix[pk] = b
+	}
+}
+
+// AttachPrefix maps up to n leading tokens of the given token chain
+// into sequence seq's stream at one layer by resolving whole blocks
+// through the prefix index: each resolved block is shared in place
+// (refcount++, zero copies). The stream must be empty. When n is not
+// block-aligned the final block is shared too, if the donor chain
+// covers it — the attacher's first divergent Append into it will
+// copy-on-write. Returns the number of tokens attached (a multiple of
+// the block size, or exactly n for an aligned/ceil match; 0 when the
+// index holds no matching chain). tokens must extend through every
+// block consulted, i.e. the donor's own prompt.
+func (c *Cache) AttachPrefix(seq, layer int, tokens []int, n int) int {
+	key := seqLayer{seq, layer}
+	if c.length[key] != 0 || len(c.blocks[key]) != 0 {
+		return 0
+	}
+	if n > len(tokens) {
+		n = len(tokens)
+	}
+	if n <= 0 {
+		return 0
+	}
+	want := (n + c.blockTokens - 1) / c.blockTokens
+	if want*c.blockTokens > len(tokens) {
+		// The tail block's chain hash needs tokens through the block
+		// boundary; the chain doesn't reach it, so share floor blocks.
+		want = n / c.blockTokens
+	}
+	var attached []*block
+	h := chainSeed
+	for bi := 0; bi < want; bi++ {
+		h = chainExtend(h, tokens[bi*c.blockTokens:(bi+1)*c.blockTokens])
+		b, ok := c.prefix[prefixKey{h, layer}]
+		if !ok {
+			break
+		}
+		attached = append(attached, b)
+	}
+	if len(attached) == 0 {
+		return 0
+	}
+	got := len(attached) * c.blockTokens
+	if got > n {
+		got = n
+	}
+	for _, b := range attached {
+		b.refs++
+	}
+	c.blocks[key] = attached
+	c.length[key] = got
+	return got
 }

@@ -63,6 +63,11 @@ type SweepPoint struct {
 	Deferred         int       `json:"deferred"`
 	MaxDeferrals     int       `json:"max_deferrals"`
 	ElapsedSeconds   float64   `json:"elapsed_seconds"`
+	// Shared-prefix KV reuse at this point: prompt tokens mapped from
+	// resident prefixes instead of prefilled, and copy-on-write block
+	// copies on divergence.
+	PrefixHitTokens int   `json:"prefix_hit_tokens"`
+	CowCopies       int64 `json:"cow_copies"`
 }
 
 // BenchScenario is one scenario's sweep in a BenchResult.

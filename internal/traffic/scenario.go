@@ -21,6 +21,15 @@ type Cohort struct {
 	// SLO is the cohort's latency target; the zero SLO opts the cohort
 	// out of goodput accounting (pure best-effort traffic).
 	SLO SLO
+	// SystemPromptTokens prepends a deterministic per-cohort system
+	// prompt of this many tokens to every request of the cohort: each
+	// generated request carries PrefixID (hashed from the cohort name)
+	// and PrefixLen, its PromptLen grows by the prefix, and the
+	// synthetic prompt derivation expands the same token run for every
+	// request of the cohort — so replayed traces exercise shared-prefix
+	// KV reuse exactly like production system prompts do. Zero means no
+	// shared prefix.
+	SystemPromptTokens int
 }
 
 func (c Cohort) validate() error {
@@ -30,12 +39,32 @@ func (c Cohort) validate() error {
 	if c.Weight <= 0 {
 		return fmt.Errorf("traffic: cohort %s: weight %v must be positive", c.Name, c.Weight)
 	}
+	if c.SystemPromptTokens < 0 {
+		return fmt.Errorf("traffic: cohort %s: negative SystemPromptTokens %d", c.Name, c.SystemPromptTokens)
+	}
 	shape := c.Shape
 	shape.NumRequests = 1 // unused by cohorts; satisfy workload validation
 	if err := shape.Validate(); err != nil {
 		return err
 	}
 	return nil
+}
+
+// prefixID derives a stable nonzero prefix id from a cohort name
+// (FNV-1a over the name, folded to 31 bits, nudged off zero), so the
+// same cohort always names the same shared system prompt — across
+// scenarios, seeds and replays.
+func prefixID(name string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	id := int(h & 0x7fffffff)
+	if id == 0 {
+		id = 1
+	}
+	return id
 }
 
 // Scenario is a seeded open-loop traffic description: one arrival
@@ -112,15 +141,21 @@ func (s Scenario) Generate(seed int64) (Trace, error) {
 			}
 			pick -= c.Weight
 		}
+		req := workload.Request{
+			ID:        i + 1,
+			PromptLen: cohort.Shape.Sample(rng),
+			GenLen:    cohort.Shape.GenLen,
+		}
+		if cohort.SystemPromptTokens > 0 {
+			req.PrefixID = prefixID(cohort.Name)
+			req.PrefixLen = cohort.SystemPromptTokens
+			req.PromptLen += cohort.SystemPromptTokens
+		}
 		tr.Events[i] = Event{
-			At:     at,
-			Cohort: cohort.Name,
-			Request: workload.Request{
-				ID:        i + 1,
-				PromptLen: cohort.Shape.Sample(rng),
-				GenLen:    cohort.Shape.GenLen,
-			},
-			SLO: cohort.SLO,
+			At:      at,
+			Cohort:  cohort.Name,
+			Request: req,
+			SLO:     cohort.SLO,
 		}
 	}
 	return tr, nil
@@ -133,7 +168,9 @@ func (s Scenario) Generate(seed int64) (Trace, error) {
 // RAG and batch summarization are the long-prompt minority.
 
 // ChatCohort is interactive chat: short prompts, medium generation,
-// tight TTFT.
+// tight TTFT, and a shared 16-token system prompt — one KV block at
+// the engine's default geometry, so every chat request past the first
+// in a wave maps the prefix instead of prefilling it.
 func ChatCohort() Cohort {
 	return Cohort{
 		Name: "chat",
@@ -141,8 +178,9 @@ func ChatCohort() Cohort {
 			Name: "chat", AvgPrompt: 10, MaxPrompt: 24, MinPrompt: 3,
 			GenLen: 8, Skew: 0.1,
 		},
-		Weight: 4,
-		SLO:    SLO{TTFT: 400 * time.Millisecond, TPOT: 60 * time.Millisecond},
+		Weight:             4,
+		SLO:                SLO{TTFT: 400 * time.Millisecond, TPOT: 60 * time.Millisecond},
+		SystemPromptTokens: 16,
 	}
 }
 
@@ -169,8 +207,9 @@ func AgenticCohort() Cohort {
 			Name: "agentic", AvgPrompt: 5, MaxPrompt: 10, MinPrompt: 2,
 			GenLen: 4, Skew: 0,
 		},
-		Weight: 3,
-		SLO:    SLO{TTFT: 250 * time.Millisecond, TPOT: 60 * time.Millisecond},
+		Weight:             3,
+		SLO:                SLO{TTFT: 250 * time.Millisecond, TPOT: 60 * time.Millisecond},
+		SystemPromptTokens: 16,
 	}
 }
 

@@ -73,6 +73,8 @@ func Sweep(factory Factory, scn Scenario, seed int64, scales []float64, runCfg R
 			Deferred:         stats.Deferred,
 			MaxDeferrals:     stats.MaxDeferrals,
 			ElapsedSeconds:   rep.Elapsed.Seconds(),
+			PrefixHitTokens:  stats.PrefixHitTokens,
+			CowCopies:        stats.CowCopies,
 		})
 	}
 	return points, nil

@@ -14,7 +14,9 @@ type Event struct {
 	At time.Duration `json:"at_ns"`
 	// Cohort names the cohort the request was drawn from.
 	Cohort string `json:"cohort"`
-	// Request is the concrete request (ID, prompt length, gen length).
+	// Request is the concrete request (ID, prompt length, gen length,
+	// and — for cohorts with a system prompt — the shared-prefix id and
+	// token length, so a replayed trace exercises prefix reuse).
 	Request workload.Request `json:"request"`
 	// SLO is the request's latency target (zero = best effort).
 	SLO SLO `json:"slo"`
@@ -82,6 +84,10 @@ func (t Trace) validate() error {
 		}
 		if ev.Request.PromptLen <= 0 || ev.Request.GenLen <= 0 {
 			return fmt.Errorf("traffic: trace %s: event %d has empty prompt or generation", t.Scenario, i)
+		}
+		if ev.Request.PrefixLen < 0 || ev.Request.PrefixLen > ev.Request.PromptLen {
+			return fmt.Errorf("traffic: trace %s: event %d has prefix %d outside its %d-token prompt",
+				t.Scenario, i, ev.Request.PrefixLen, ev.Request.PromptLen)
 		}
 		prev = ev.At
 	}

@@ -94,14 +94,81 @@ func TestTraceCohortMix(t *testing.T) {
 	shapes := map[string][2]int{ // min, max prompt bounds per cohort
 		"chat": {3, 24}, "rag": {14, 44}, "agentic": {2, 10}, "summarize": {24, 52},
 	}
+	sysPrompt := map[string]int{ // cohorts carrying a shared system prompt
+		"chat": ChatCohort().SystemPromptTokens, "agentic": AgenticCohort().SystemPromptTokens,
+	}
 	for i, ev := range tr.Events {
 		if ev.Request.ID != i+1 {
 			t.Fatalf("event %d has ID %d, want sequential", i, ev.Request.ID)
 		}
-		b := shapes[ev.Cohort]
-		if ev.Request.PromptLen < b[0] || ev.Request.PromptLen > b[1] {
-			t.Fatalf("%s prompt %d outside [%d,%d]", ev.Cohort, ev.Request.PromptLen, b[0], b[1])
+		b, sys := shapes[ev.Cohort], sysPrompt[ev.Cohort]
+		if ev.Request.PromptLen < b[0]+sys || ev.Request.PromptLen > b[1]+sys {
+			t.Fatalf("%s prompt %d outside [%d,%d]", ev.Cohort, ev.Request.PromptLen, b[0]+sys, b[1]+sys)
 		}
+		if sys > 0 {
+			if ev.Request.PrefixID != prefixID(ev.Cohort) || ev.Request.PrefixLen != sys {
+				t.Fatalf("%s event %d: prefix (%d,%d), want (%d,%d)",
+					ev.Cohort, i, ev.Request.PrefixID, ev.Request.PrefixLen, prefixID(ev.Cohort), sys)
+			}
+		} else if ev.Request.PrefixID != 0 || ev.Request.PrefixLen != 0 {
+			t.Fatalf("%s event %d: unexpected prefix (%d,%d)",
+				ev.Cohort, i, ev.Request.PrefixID, ev.Request.PrefixLen)
+		}
+	}
+}
+
+// TestCohortSystemPrompt: cohorts with SystemPromptTokens stamp a
+// stable nonzero PrefixID per cohort name (distinct across cohorts),
+// replays are bit-identical, and the prefix survives a JSON round trip
+// under the bounds validator.
+func TestCohortSystemPrompt(t *testing.T) {
+	if prefixID("chat") == prefixID("agentic") {
+		t.Fatal("distinct cohorts hashed to the same prefix id")
+	}
+	if prefixID("chat") <= 0 {
+		t.Fatalf("prefix id %d not positive", prefixID("chat"))
+	}
+	scn := PoissonChat(10, 80)
+	a, err := scn.Generate(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scn.Generate(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different prefix-carrying traces")
+	}
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, back) {
+		t.Fatal("prefix fields changed across JSON round trip")
+	}
+	// Every event in this scenario belongs to a system-prompt cohort and
+	// must count the prefix inside its prompt.
+	for i, ev := range back.Events {
+		if ev.Request.PrefixLen <= 0 || ev.Request.PrefixLen >= ev.Request.PromptLen {
+			t.Fatalf("event %d: prefix %d not inside %d-token prompt", i, ev.Request.PrefixLen, ev.Request.PromptLen)
+		}
+	}
+	// A trace claiming a prefix longer than its prompt fails validation.
+	bad := Trace{Scenario: "x", Events: []Event{{
+		Request: workload.Request{ID: 1, PromptLen: 4, GenLen: 2, PrefixID: 3, PrefixLen: 9},
+	}}}
+	raw, err := json.Marshal(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rejected Trace
+	if err := json.Unmarshal(raw, &rejected); err == nil {
+		t.Error("prefix longer than prompt decoded without error")
 	}
 }
 

@@ -19,10 +19,19 @@ import (
 // Request is one inference request.
 type Request struct {
 	ID int
-	// PromptLen is the number of prompt tokens.
+	// PromptLen is the number of prompt tokens, including any shared
+	// system-prompt prefix (the first PrefixLen tokens).
 	PromptLen int
 	// GenLen is the number of tokens to generate.
 	GenLen int
+	// PrefixID names the shared system prompt this request opens with,
+	// 0 for none. Requests with equal PrefixID derive identical leading
+	// PrefixLen tokens, so a prefix-sharing KV cache can map them to
+	// the same physical blocks.
+	PrefixID int
+	// PrefixLen is the token length of the shared prefix (<= PromptLen;
+	// meaningful only when PrefixID != 0).
+	PrefixLen int
 }
 
 // TotalLen is the final context length of the request.

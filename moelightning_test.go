@@ -192,3 +192,48 @@ func TestRunFunctionalRejectsBigModels(t *testing.T) {
 		t.Fatal("empty queue accepted")
 	}
 }
+
+// TestRunFunctionalSharedPrefix: a queue declaring a common prefix
+// produces identical outputs with sharing on or off, verifies against
+// the reference with sharing on, and only the sharing run reports
+// prefix hits.
+func TestRunFunctionalSharedPrefix(t *testing.T) {
+	reqs := make([]Request, 5)
+	for i := range reqs {
+		reqs[i] = Request{ID: i + 1, PromptLen: 36 + i, GenLen: 4, PrefixID: 11, PrefixLen: 32}
+	}
+	off, err := RunFunctional(TinyMoE(), reqs, FunctionalOptions{
+		Seed: 9, GenLen: 4, SharedPrefixKV: SharedPrefixOff,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := RunFunctional(TinyMoE(), reqs, FunctionalOptions{
+		Seed: 9, GenLen: 4, Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !on.Verified {
+		t.Fatal("verification did not run with sharing on")
+	}
+	for _, r := range reqs {
+		if !equalInts(on.Outputs[r.ID], off.Outputs[r.ID]) {
+			t.Errorf("request %d: sharing changed tokens: %v vs %v", r.ID, on.Outputs[r.ID], off.Outputs[r.ID])
+		}
+	}
+	if off.PrefixHitTokens != 0 {
+		t.Errorf("sharing off reported %d prefix hit tokens", off.PrefixHitTokens)
+	}
+	if on.PrefixHitTokens < 32*2 {
+		t.Errorf("sharing on mapped only %d prefix tokens", on.PrefixHitTokens)
+	}
+	total := on.PrefillTokens + on.PrefixHitTokens
+	if total != off.PrefillTokens {
+		t.Errorf("prefilled %d + mapped %d != %d prompt tokens without sharing",
+			on.PrefillTokens, on.PrefixHitTokens, off.PrefillTokens)
+	}
+	if want := float64(on.PrefixHitTokens) / float64(total); on.PrefixHitRatio != want {
+		t.Errorf("PrefixHitRatio = %v, want %v", on.PrefixHitRatio, want)
+	}
+}

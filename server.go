@@ -118,7 +118,29 @@ type ServerConfig struct {
 	// front of the admission order (<= 0 selects the engine default of
 	// 3). Ignored without SLOAware.
 	StarvationWaves int
+	// SharedPrefixKV controls shared-prefix KV reuse (default on, the
+	// zero value): requests of a wave whose prompts open with identical
+	// tokens — e.g. a common system prompt declared via
+	// Request.PrefixID/PrefixLen — share refcounted cache blocks with
+	// copy-on-write on divergence, skip prefilling the matched tokens,
+	// and are charged only their unshared bytes by the Alg. 2 batcher.
+	// Output is bit-identical with sharing on or off; set
+	// SharedPrefixOff to spend the extra FLOPs and cache anyway.
+	SharedPrefixKV SharedPrefixMode
 }
+
+// SharedPrefixMode selects whether the KV cache shares identical
+// prompt prefixes across a wave's requests. The zero value is ON so
+// the facade defaults to sharing.
+type SharedPrefixMode int
+
+const (
+	// SharedPrefixOn enables shared-prefix KV reuse (the default).
+	SharedPrefixOn SharedPrefixMode = iota
+	// SharedPrefixOff disables it: every request prefills and caches
+	// its full prompt privately.
+	SharedPrefixOff
+)
 
 func (c *ServerConfig) defaults() {
 	if c.MicroBatchSize <= 0 {
@@ -203,6 +225,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		ExpertResidencyBytes: cfg.ExpertResidencyBytes,
 		SLOAware:             cfg.SLOAware,
 		StarvationWaves:      cfg.StarvationWaves,
+		SharedPrefixKV:       cfg.SharedPrefixKV == SharedPrefixOn,
 	})
 	if err != nil {
 		return nil, err
