@@ -28,6 +28,7 @@ import (
 
 	"moelightning"
 	"moelightning/internal/calib"
+	"moelightning/internal/chaos"
 	"moelightning/internal/experiments"
 	"moelightning/internal/metrics"
 	"moelightning/internal/traffic"
@@ -35,7 +36,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,tab4,tab5,disk,quant,sparsity,latency,serve,slo,calib,all")
+	exp := flag.String("exp", "all", "experiment id: fig1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,tab4,tab5,disk,quant,sparsity,latency,serve,slo,calib,chaos,all")
 	settings := flag.String("settings", "S1,S2,S6,S7", "comma-separated settings for fig7")
 	gens := flag.String("gens", "32,64,128,256", "comma-separated generation lengths")
 	kvdtype := flag.String("kvdtype", "f32", "KV cache codec for -exp serve/slo: f32 or int8")
@@ -45,7 +46,7 @@ func main() {
 	requests := flag.Int("requests", 36, "requests per sweep point for -exp slo")
 	sweep := flag.String("sweep", "0.5,1,2", "comma-separated arrival-rate multiples for the -exp slo saturation sweep")
 	seed := flag.Int64("seed", 2024, "trace seed for -exp slo and bench seed for -exp calib")
-	quick := flag.Bool("quick", false, "shrink -exp calib bench grids for smoke runs")
+	quick := flag.Bool("quick", false, "shrink -exp calib/chaos runs for smoke tests")
 	flag.Parse()
 
 	kvDtype, err := moelightning.ParseKVDtype(*kvdtype)
@@ -132,6 +133,12 @@ func main() {
 				path = "BENCH_calib.json"
 			}
 			return runCalib(*quick, *seed, path)
+		case "chaos":
+			path := *jsonPath
+			if path == "" {
+				path = "BENCH_chaos.json"
+			}
+			return runChaos(*quick, *seed, path)
 		case "tab4":
 			rows, err := experiments.Table4()
 			if err != nil {
@@ -399,6 +406,38 @@ func runCalib(quick bool, seed int64, jsonPath string) error {
 	fmt.Printf("wrote %s (%d scenarios, %d table entries)\n",
 		jsonPath, len(report.Scenarios), len(report.Table.Entries))
 	return nil
+}
+
+// runChaos plays the standing fault-injection scenario (a seeded
+// bursty trace with transient expert-fetch faults, forced KV-pool
+// exhaustions and overload control) against a live server and verifies
+// the robustness invariants: every handle terminates, survivors are
+// bit-identical to the sequential reference, no KV blocks leak, and
+// Close returns within its bound. -quick shrinks the trace for CI
+// smoke runs.
+func runChaos(quick bool, seed int64, jsonPath string) error {
+	cfg := chaos.Config{Seed: seed}
+	if quick {
+		cfg.Requests = 48
+		cfg.Speed = 32
+	}
+	rep, err := chaos.Run(cfg)
+	table := &metrics.Table{Header: []string{"metric", "value"}}
+	table.Add("scenario", fmt.Sprintf("%s (seed %d, %d requests)", rep.Scenario, rep.Seed, rep.Requests))
+	table.Add("submitted / shed", fmt.Sprintf("%d / %d", rep.Submitted, rep.Shed))
+	table.Add("completed / canceled / failed", fmt.Sprintf("%d / %d / %d", rep.Completed, rep.Canceled, rep.Failed))
+	table.Add("deadline dropped", rep.DeadlineDropped)
+	table.Add("fault retries / failures", fmt.Sprintf("%d / %d", rep.FaultRetries, rep.FaultFailures))
+	table.Add("wave timeouts", rep.WaveTimeouts)
+	table.Add("leaked-block waves", rep.LeakedBlockWaves)
+	table.Add("survivors checked / mismatched", fmt.Sprintf("%d / %d", rep.SurvivorsChecked, rep.Mismatched))
+	table.Add("close", fmt.Sprintf("%dms (within bound: %v)", rep.CloseMillis, rep.CloseWithinBound))
+	fmt.Print(table.String())
+	if werr := traffic.WriteJSON(jsonPath, rep); werr != nil {
+		return werr
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return err
 }
 
 func parseFloats(s string) ([]float64, error) {

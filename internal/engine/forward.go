@@ -54,21 +54,27 @@ func preAttention(layout Layout, layer []float32, x tensor.Mat, positions []int,
 // the GPU residency pool for the pipeline, where a cold expert
 // demand-fetches synchronously so routing is never wrong, just slower;
 // the CPU layer region for the reference — and Release unpins them
-// once the expert's GEMM triple is done.
+// once the expert's GEMM triple is done. An Acquire error (a paged
+// expert whose fetch failed past its retry budget) makes postAttention
+// skip the expert and record the failure in scratch; the caller maps
+// it onto the sequences routed to that expert. A failed Acquire is
+// never Released.
 type expertSource interface {
-	Acquire(e int) (gate, up, down tensor.Mat)
+	Acquire(e int) (gate, up, down tensor.Mat, err error)
 	Release(e int)
 }
 
 // residentExperts serves experts straight from a fully resident layer
-// region: the reference engine and the kernel unit tests.
+// region: the reference engine and the kernel unit tests. Acquire
+// never fails — the weights are already local.
 type residentExperts struct {
 	layout Layout
 	data   []float32
 }
 
-func (s residentExperts) Acquire(e int) (gate, up, down tensor.Mat) {
-	return s.layout.Expert(s.data, e)
+func (s residentExperts) Acquire(e int) (gate, up, down tensor.Mat, err error) {
+	gate, up, down = s.layout.Expert(s.data, e)
+	return gate, up, down, nil
 }
 
 func (s residentExperts) Release(int) {}
@@ -137,7 +143,16 @@ func postAttention(layout Layout, shared []float32, experts expertSource, attnOu
 	}
 
 	// Expert FFN: y_t = sum_e w_te * down_e(SiLU(gate_e(t)) * up_e(t)),
-	// one batched GEMM triple per expert over its grouped tokens.
+	// one batched GEMM triple per expert over its grouped tokens. An
+	// expert whose weights cannot be acquired is skipped wholesale and
+	// recorded in scratch.failedExperts: its tokens' outputs are wrong
+	// from here on (a contribution is missing), so the caller must
+	// retire every sequence routed to it — but tokens NOT routed to the
+	// failed expert accumulate exactly the contributions they always
+	// did, in the same ascending expert-id order, so survivors stay
+	// bit-identical.
+	scratch.failedExperts = scratch.failedExperts[:0]
+	scratch.expertErr = nil
 	ffnOut := tensor.FromSlice(n, h, scratch.ffnOut[:n*h])
 	for i := range ffnOut.Data {
 		ffnOut.Data[i] = 0
@@ -152,7 +167,14 @@ func postAttention(layout Layout, shared []float32, experts expertSource, attnOu
 		for r, t := range toks {
 			copy(xe.Row(r), normed.Row(t))
 		}
-		gate, up, down := experts.Acquire(e)
+		gate, up, down, aerr := experts.Acquire(e)
+		if aerr != nil {
+			scratch.failedExperts = append(scratch.failedExperts, e)
+			if scratch.expertErr == nil {
+				scratch.expertErr = aerr
+			}
+			continue
+		}
 		gateAct := tensor.FromSlice(ne, h2, scratch.gateAct[:ne*h2])
 		upAct := tensor.FromSlice(ne, h2, scratch.upAct[:ne*h2])
 		tensor.MatMulTParallel(gateAct, xe, gate)
@@ -188,6 +210,12 @@ type ffnScratch struct {
 	bucketW              [][]float32 // per-expert gate weights
 	xe, expProj          []float32   // maxN x hidden expert staging
 	gateAct, upAct       []float32   // maxN x intermediate
+
+	// failedExperts / expertErr record experts postAttention skipped
+	// because Acquire failed (and the first such error), valid until
+	// the next call: the caller retires the sequences routed to them.
+	failedExperts []int
+	expertErr     error
 }
 
 func newFFNScratch(layout Layout, maxN int) *ffnScratch {

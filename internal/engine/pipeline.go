@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"moelightning/internal/faults"
 	"moelightning/internal/kvcache"
 	"moelightning/internal/memory"
 	"moelightning/internal/paging"
@@ -111,6 +113,17 @@ type Pipeline struct {
 	kern kernels
 
 	err atomic.Value
+
+	// faults is the optional injector consulted at the stall seam (and
+	// wired into the cache and pager hooks at build time); nil injects
+	// nothing. abortCh/abortOnce/abortReason implement cooperative wave
+	// abort: Abort closes the channel, GenerateStream notices at the
+	// next prefill-layer or decode-step boundary (and injected stalls
+	// wake immediately), and the generation returns the abort reason.
+	faults      *faults.Injector
+	abortCh     chan struct{}
+	abortOnce   sync.Once
+	abortReason error
 }
 
 // kernels bundles the forward-pass implementations the lane tasks call.
@@ -193,6 +206,11 @@ type Config struct {
 	// that is not resident demand-fetches synchronously, so a small
 	// budget only costs time, never correctness.
 	ExpertResidencyBytes int
+	// Faults optionally threads a deterministic fault injector through
+	// the pipeline's seams: expert-pager fetches, KV block allocation,
+	// and the prefill-layer / decode-step stall points. Nil injects
+	// nothing and costs nothing.
+	Faults *faults.Injector
 }
 
 // DefaultPrefillChunk is the prefill token budget used when
@@ -360,6 +378,13 @@ func NewPipeline(w *Weights, gpu, pinned, cacheArena *memory.Arena, numSeqs int,
 	p.predBuf = make([]int, 0, w.Cfg.Experts)
 	p.keyBuf = make([]paging.ExpertKey, 0, w.Cfg.Experts)
 
+	p.abortCh = make(chan struct{})
+	if cfg.Faults != nil {
+		p.faults = cfg.Faults
+		cache.SetAllocHook(cfg.Faults.KVAlloc)
+		p.pager.SetFetchFault(cfg.Faults.ExpertFetch)
+	}
+
 	p.lanes = newLaneSet()
 	p.lookahead = cfg.Lookahead
 	p.sharedPrefix = cfg.SharedPrefix
@@ -395,6 +420,59 @@ func (p *Pipeline) failed() error {
 	}
 	return nil
 }
+
+// errWaveAborted is the abort reason when Abort is called with nil.
+var errWaveAborted = errors.New("engine: wave aborted")
+
+// Abort requests cooperative cancellation of the in-flight generation:
+// GenerateStream returns err (or a generic abort error when nil) at
+// the next prefill-layer or decode-step boundary, and any injected
+// stall wakes immediately. Safe to call from any goroutine, more than
+// once; the first reason wins. It cannot interrupt a lane task that is
+// truly wedged mid-run — that is the server watchdog's grace-period
+// case.
+func (p *Pipeline) Abort(err error) {
+	p.abortOnce.Do(func() {
+		if err == nil {
+			err = errWaveAborted
+		}
+		p.abortReason = err // written before close: the happens-before edge for abortedErr
+		close(p.abortCh)
+	})
+}
+
+// abortedErr returns the abort reason once Abort has fired, else nil.
+func (p *Pipeline) abortedErr() error {
+	select {
+	case <-p.abortCh:
+		return p.abortReason
+	default:
+		return nil
+	}
+}
+
+// stallPoint consults the fault injector's latency seam; a fired stall
+// blocks here (interruptibly — an Abort wakes it).
+func (p *Pipeline) stallPoint() {
+	if p.faults != nil {
+		p.faults.Stall(p.abortCh)
+	}
+}
+
+// ReleaseAll releases every sequence's cache blocks (idempotent — a
+// sequence already retired or released is a no-op). The server calls
+// it after a wave drains so KVIdle can verify the pool returned to its
+// initial free count.
+func (p *Pipeline) ReleaseAll() {
+	for s := 0; s < p.hidden.Rows; s++ {
+		p.cache.Release(s)
+	}
+}
+
+// KVIdle verifies the pipeline's KV cache is back to its freshly-built
+// state (every block free, no refcounts, empty prefix index): the
+// wave-end leak check.
+func (p *Pipeline) KVIdle() error { return p.cache.CheckIdle() }
 
 // validatePartition checks an explicit micro-batch partition covers
 // [0, n) exactly once with no empty micro-batches.

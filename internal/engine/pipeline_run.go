@@ -117,6 +117,13 @@ func (p *Pipeline) GenerateStream(prompts [][]int, genLen int, sink StepSink, st
 				copy(p.hidden.Row(s), p.w.Embedding.Row(tok))
 			}
 		}
+		// Fault seam + cooperative abort, both at the step boundary: a
+		// fired stall blocks here (woken early by Abort), and an abort
+		// requested by the watchdog ends the wave before the next step.
+		p.stallPoint()
+		if aerr := p.abortedErr(); aerr != nil {
+			return nil, aerr
+		}
 		if err := p.decodeStep(t); err != nil {
 			return nil, err
 		}
@@ -454,11 +461,21 @@ func (p *Pipeline) runPostAttn(layer, v, j int, mb []int) error {
 	}
 	p.expSrc.layer = layer
 	chosen := p.kern.postAttn(p.layout, shared, &p.expSrc, attn, x, p.scratch)
+	// An expert whose weights could not be fetched (past the pager's
+	// retry budget) fails exactly the sequences routed to it this
+	// micro-batch — marked before the writeback below so their corrupt
+	// rows never touch the hidden state. Writes to seqErr here (GPU
+	// lane) and in runCPUAttn (CPU lane) target the same element only
+	// through the task graph's cattn->post dependency chain, so they
+	// are ordered, never racing.
+	if p.scratch.expertErr != nil {
+		p.failExpertRouted(layer, chosen, mb, p.scratch)
+	}
 	for i, s := range mb {
-		// A sequence that exhausted the KV pool earlier this step
-		// carries stale attention rows: don't let them touch the hidden
-		// state or the expert-load statistics (it is retired at the
-		// step boundary).
+		// A sequence that exhausted the KV pool (or lost an expert)
+		// earlier this step carries stale rows: don't let them touch
+		// the hidden state or the expert-load statistics (it is retired
+		// at the step boundary).
 		if p.seqErr[s] != nil {
 			continue
 		}
@@ -468,6 +485,30 @@ func (p *Pipeline) runPostAttn(layer, v, j int, mb []int) error {
 		}
 	}
 	return nil
+}
+
+// failExpertRouted marks seqErr for every sequence in mb whose routed
+// expert set intersects scratch.failedExperts: their FFN output is
+// missing a contribution, so they retire at the next step boundary
+// (decode) or are retired by the caller (prefill). Row i of the packed
+// batch belongs to mb[i] in decode; prefill passes its own row->seq
+// mapping via mb.
+func (p *Pipeline) failExpertRouted(layer int, chosen [][]int, mb []int, scratch *ffnScratch) {
+	failed := make(map[int]bool, len(scratch.failedExperts))
+	for _, e := range scratch.failedExperts {
+		failed[e] = true
+	}
+	for i, s := range mb {
+		if p.seqErr[s] != nil {
+			continue
+		}
+		for _, e := range chosen[i] {
+			if failed[e] {
+				p.seqErr[s] = fmt.Errorf("engine: expert %d weights unavailable (layer %d): %w", e, layer, scratch.expertErr)
+				break
+			}
+		}
+	}
 }
 
 // runPin copies page pg of the layer backing virtual layer v from CPU
@@ -535,9 +576,15 @@ type pagedExperts struct {
 	layer int
 }
 
-func (s *pagedExperts) Acquire(e int) (gate, up, down tensor.Mat) {
-	block := s.p.pager.Acquire(paging.ExpertKey{Layer: s.layer, Expert: e})
-	return s.p.layout.ExpertWeights(block)
+func (s *pagedExperts) Acquire(e int) (gate, up, down tensor.Mat, err error) {
+	block, err := s.p.pager.Acquire(paging.ExpertKey{Layer: s.layer, Expert: e})
+	if err != nil {
+		// The caller (postAttention) skips the expert without touching
+		// the matrices or calling Release.
+		return tensor.Mat{}, tensor.Mat{}, tensor.Mat{}, err
+	}
+	gate, up, down = s.p.layout.ExpertWeights(block)
+	return gate, up, down, nil
 }
 
 func (s *pagedExperts) Release(e int) {

@@ -90,6 +90,7 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 	qkvBuf := make([]float32, chunk*(q+2*kv))
 	attnOut := tensor.NewMat(chunk, q)
 	positions := make([]int, chunk)
+	rowSeq := make([]int, chunk) // packed row -> owning sequence
 	scratch := newFFNScratch(layout, chunk)
 	spans := make([]prefillSpan, 0, len(prompts))
 	items := make([]tensor.CausalItem, 0, len(prompts))
@@ -127,6 +128,13 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 	p.prefetchExperts(0)
 
 	for l := 0; l < cfg.Layers; l++ {
+		// Fault seam + cooperative abort at the layer boundary: a fired
+		// stall blocks here (woken early by Abort), and a watchdog
+		// abort ends the prefill before the next layer streams in.
+		p.stallPoint()
+		if aerr := p.abortedErr(); aerr != nil {
+			return aerr
+		}
 		if err := p.loadSharedSync(l); err != nil {
 			return err
 		}
@@ -168,6 +176,7 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 				spans = append(spans, prefillSpan{seq: s, tokLo: a, tokHi: b, off: m})
 				for t := a; t < b; t++ {
 					positions[m] = t
+					rowSeq[m] = s
 					m++
 				}
 			}
@@ -282,6 +291,18 @@ func (p *Pipeline) prefill(prompts [][]int) error {
 			// but are neither scattered back nor counted.
 			arows := tensor.FromSlice(m, q, attnOut.Data[:m*q])
 			chosen := p.kern.postAttn(layout, shared, &p.expSrc, arows, rows, scratch)
+			// A failed expert fetch (past the pager's retry budget)
+			// fails exactly the sequences routed to it this chunk:
+			// retired on the spot, like an exhausted Append, before the
+			// scatter below can propagate their corrupt rows.
+			if scratch.expertErr != nil {
+				p.failExpertRouted(l, chosen, rowSeq[:m], scratch)
+				for _, sp := range spans {
+					if p.seqErr[sp.seq] != nil {
+						p.retire(sp.seq) // no-op for earlier retirees
+					}
+				}
+			}
 			for _, sp := range spans {
 				if p.seqErr[sp.seq] != nil {
 					continue

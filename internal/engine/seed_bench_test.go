@@ -143,7 +143,10 @@ func seedPostAttention(layout Layout, shared []float32, experts expertSource, at
 			scratch.ffnOut[j] = 0
 		}
 		for j, e := range topk {
-			gate, up, down := experts.Acquire(e)
+			gate, up, down, aerr := experts.Acquire(e)
+			if aerr != nil {
+				panic(aerr) // seed benches run on resident experts only
+			}
 			seedMatMulT(tensor.FromSlice(1, cfg.Intermediate, scratch.gateAct), nm, gate)
 			seedMatMulT(tensor.FromSlice(1, cfg.Intermediate, scratch.upAct), nm, up)
 			tensor.SiLU(scratch.gateAct)

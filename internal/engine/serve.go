@@ -1,6 +1,9 @@
 package engine
 
 import (
+	"time"
+
+	"moelightning/internal/faults"
 	"moelightning/internal/kvcache"
 	"moelightning/internal/memory"
 	"moelightning/internal/workload"
@@ -63,6 +66,34 @@ type ServeConfig struct {
 	// only the unshared bytes of a request whose declared prefix is
 	// already placed in the wave. Bit-identical output either way.
 	SharedPrefixKV bool
+	// MaxQueuedRequests / MaxQueuedTokens bound the admitted-but-not-yet-
+	// dispatched set: a Submit that would push past either bound fails
+	// fast with ErrOverloaded instead of queueing toward a blown
+	// deadline. <= 0 disables the bound.
+	MaxQueuedRequests int
+	MaxQueuedTokens   int
+	// SLOAwareShed adds a projection-based shed on top of the hard
+	// bounds: once the server has a measured generation rate, a batch
+	// whose projected queue drain time exceeds every one of its TTFT
+	// budgets is rejected with ErrOverloaded at Submit.
+	SLOAwareShed bool
+	// EnforceDeadlines fails queued requests whose TTFT budget has
+	// already expired at the wave boundary (ErrDeadlineExceeded), before
+	// any prefill is wasted on them.
+	EnforceDeadlines bool
+	// TPOTGuard retires decoding sequences whose elapsed decode time
+	// already exceeds their whole TPOT budget (ErrDeadlineExceeded),
+	// through the normal stop path — survivors stay bit-identical.
+	TPOTGuard bool
+	// WaveTimeout arms the wave watchdog: a wave running longer is asked
+	// to abort cooperatively; one that ignores the abort for another
+	// WaveTimeout+1s is abandoned and the server marks itself broken
+	// (ErrWaveStalled). 0 disables the watchdog.
+	WaveTimeout time.Duration
+	// Faults threads a deterministic fault injector through every wave's
+	// pipeline (expert-pager fetches, KV block allocation, wave stalls).
+	// Nil means no injection: the hooks are never installed.
+	Faults *faults.Injector
 }
 
 // ServeResult is the outcome of serving a queue.

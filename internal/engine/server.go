@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,6 +28,26 @@ var ErrServerClosed = errors.New("engine: server closed")
 // would defer forever, so they are failed instead of looped.
 var ErrNoProgress = errors.New("engine: batcher made no progress (same request set aborted twice in a row)")
 
+// ErrOverloaded reports a Submit rejected by overload control: the
+// pending queue is at its configured request or token bound (or, under
+// SLO-aware shedding, projected to drain too slowly for the batch's
+// TTFT budgets). The request was never admitted — fail fast and let the
+// client retry or re-route instead of queueing toward a blown deadline.
+var ErrOverloaded = errors.New("engine: server overloaded")
+
+// ErrDeadlineExceeded reports a request dropped by deadline
+// enforcement: its TTFT budget expired while it was still queued (no
+// prefill was wasted on it), or — under the TPOT guard — its decode
+// pace could no longer meet the TPOT budget even if every remaining
+// step were free. Tokens generated before the drop are still returned.
+var ErrDeadlineExceeded = errors.New("engine: deadline exceeded")
+
+// ErrWaveStalled reports a wave that exceeded the server's watchdog
+// timeout. Its requests fail with this error; if the wave also ignored
+// the cooperative abort, the server marks itself broken (the wedged
+// pipeline still owns the arenas) and fails all later submits fast.
+var ErrWaveStalled = errors.New("engine: wave stalled past watchdog timeout")
+
 // Token is one streamed generation event.
 type Token struct {
 	// Index is the token's position in the request's output (0-based).
@@ -37,10 +58,16 @@ type Token struct {
 
 // Handle follows one submitted request through the server.
 type Handle struct {
-	req    workload.Request
-	cancel <-chan struct{}
-	genLen int // effective generation length for this request
-	slo    SLO
+	req     workload.Request
+	cancel  <-chan struct{}
+	genLen  int // effective generation length for this request
+	slo     SLO
+	qtokens int // prompt + effective gen tokens: the queue-bound weight
+
+	// queued marks the handle as counted against the server's queue
+	// bounds. Guarded by the SERVER's mu (it moves with queuedReqs /
+	// queuedTokens), not h.mu.
+	queued bool
 
 	done chan struct{}
 
@@ -51,6 +78,7 @@ type Handle struct {
 	deferred          bool
 	deferrals         int
 	finished          bool
+	tpotHopeless      bool // TPOT guard verdict: budget irrecoverable
 	submitted         time.Time
 	firstTok, lastTok time.Time
 }
@@ -142,10 +170,16 @@ func (h *Handle) Err() error {
 }
 
 // push records and streams one token. Called only from the serving
-// goroutine; the buffered channel makes the send non-blocking.
+// goroutine; the buffered channel makes the send non-blocking. A push
+// after finish is dropped — an abandoned (watchdog-wedged) wave that
+// later unwedges must not write into handles the watchdog failed.
 func (h *Handle) push(index, id int) {
 	now := time.Now()
 	h.mu.Lock()
+	if h.finished {
+		h.mu.Unlock()
+		return
+	}
 	h.out = append(h.out, id)
 	if index == 0 {
 		h.firstTok = now
@@ -237,6 +271,21 @@ type ServerStats struct {
 	// MaxDeferrals is the most wave boundaries any single request has
 	// been passed over — the observed starvation bound.
 	MaxDeferrals int
+	// Overload / robustness accounting. Shed counts requests rejected at
+	// Submit by overload control (never admitted, not in Submitted);
+	// DeadlineDropped counts admitted requests dropped by deadline
+	// enforcement (queued past their TTFT budget, or retired by the TPOT
+	// guard); WaveTimeouts counts waves that tripped the watchdog;
+	// KVLeaks counts waves whose end-of-wave KV-pool audit found blocks
+	// not returned to the free list.
+	Shed, DeadlineDropped, WaveTimeouts, KVLeaks int
+	// Fault accounting from the expert pager: transient fetch faults
+	// absorbed by retry, and fetches that failed past the retry budget
+	// (each such failure retires the sequences routed to that expert).
+	FaultRetries, FaultFailures int64
+	// QueuedRequests / QueuedTokens are the CURRENT queue-bound usage
+	// (admitted, not yet dispatched into a wave), not totals.
+	QueuedRequests, QueuedTokens int
 	// TokensPerSecond is generation throughput over busy (in-wave) time.
 	TokensPerSecond float64
 	// Data-movement totals across all waves (bytes / pages).
@@ -267,6 +316,16 @@ type Server struct {
 	inflight int // submits past the closed check, not yet enqueued
 	firstErr error
 	stats    serverAccum
+
+	// Overload-control ledger: handles admitted but not yet dispatched
+	// into a wave (deferred handles stay counted until they dispatch or
+	// finish), and the sum of their qtokens.
+	queuedReqs   int
+	queuedTokens int
+	// broken is set when a wedged wave forces the watchdog to abandon
+	// the pipeline: the arenas are unrecoverable, so every later submit
+	// and wave fails fast with this error.
+	broken error
 }
 
 // serverAccum is the mutable half of ServerStats.
@@ -287,6 +346,9 @@ type serverAccum struct {
 	busy                                   time.Duration
 	htod, dtoh, pages                      int64
 	weightBytes, expHits, expMisses        int64
+	shed, deadlineDropped                  int
+	waveTimeouts, kvLeaks                  int
+	faultRetries, faultFailures            int64
 }
 
 // batchConfig builds the Alg. 2 configuration for a server: the KV
@@ -387,11 +449,29 @@ func (s *Server) SubmitBatchSLO(reqs []workload.Request, slos []SLO, cancel <-ch
 			slo = slos[i]
 		}
 		hs[i] = newHandle(r, cancel, s.effGenLen(r), slo)
+		hs[i].qtokens = r.PromptLen + hs[i].genLen
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrServerClosed
+	}
+	if s.broken != nil {
+		err := s.broken
+		s.mu.Unlock()
+		return nil, err
+	}
+	// Overload control: bound the pending set before the batch enters
+	// it. The whole batch is admitted or shed atomically.
+	if err := s.admitCheckLocked(hs); err != nil {
+		s.stats.shed += len(hs)
+		s.mu.Unlock()
+		return nil, err
+	}
+	for _, h := range hs {
+		h.queued = true
+		s.queuedReqs++
+		s.queuedTokens += h.qtokens
 	}
 	// The inflight count keeps the loop alive until this send lands,
 	// even if Close races in between: a batch accepted here is always
@@ -403,6 +483,73 @@ func (s *Server) SubmitBatchSLO(reqs []workload.Request, slos []SLO, cancel <-ch
 	s.inflight--
 	s.mu.Unlock()
 	return hs, nil
+}
+
+// admitCheckLocked is the overload-control gate: it rejects a batch
+// whose admission would push the pending set past MaxQueuedRequests or
+// MaxQueuedTokens, and — under SLOAwareShed, once the server has a
+// measured generation rate — a batch whose projected queue drain time
+// already exceeds every one of its requests' TTFT budgets (a request
+// with no TTFT budget never sheds this way). Callers hold s.mu.
+func (s *Server) admitCheckLocked(hs []*Handle) error {
+	if n := s.cfg.MaxQueuedRequests; n > 0 && s.queuedReqs+len(hs) > n {
+		return fmt.Errorf("%w: %d queued requests + %s exceed MaxQueuedRequests %d",
+			ErrOverloaded, s.queuedReqs, s.describeHandles(hs), n)
+	}
+	tok := 0
+	for _, h := range hs {
+		tok += h.qtokens
+	}
+	if n := s.cfg.MaxQueuedTokens; n > 0 && s.queuedTokens+tok > n {
+		return fmt.Errorf("%w: %d queued tokens + %s exceed MaxQueuedTokens %d",
+			ErrOverloaded, s.queuedTokens, s.describeHandles(hs), n)
+	}
+	if s.cfg.SLOAwareShed && s.stats.busy > 0 && s.stats.tokens > 0 {
+		rate := float64(s.stats.tokens) / s.stats.busy.Seconds()
+		drain := time.Duration(float64(s.queuedTokens+tok) / rate * float64(time.Second))
+		shedAll := true
+		for _, h := range hs {
+			if h.slo.TTFT <= 0 || drain <= h.slo.TTFT {
+				shedAll = false
+				break
+			}
+		}
+		if shedAll {
+			return fmt.Errorf("%w: projected queue drain %v (%.0f tok/s over %d queued tokens) exceeds every TTFT budget of %s",
+				ErrOverloaded, drain.Round(time.Millisecond), rate, s.queuedTokens+tok, s.describeHandles(hs))
+		}
+	}
+	return nil
+}
+
+// describeHandles names a handle group's requests and their token/byte
+// demands for admission-failure and no-progress diagnostics: enough to
+// identify WHICH requests were refused and what they asked for.
+func (s *Server) describeHandles(hs []*Handle) string {
+	tokBytes := kvcache.TokenBytes(s.w.Cfg.KVDim(), s.cfg.KVDtype) * s.w.Cfg.Layers
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d request(s):", len(hs))
+	for i, h := range hs {
+		if i == 8 {
+			fmt.Fprintf(&b, " …(+%d more)", len(hs)-i)
+			break
+		}
+		fmt.Fprintf(&b, " id %d (%d prompt + %d gen tokens, %d KV bytes)",
+			h.req.ID, h.req.PromptLen, h.genLen, h.qtokens*tokBytes)
+	}
+	return b.String()
+}
+
+// dequeueLocked releases a handle's claim on the queue bounds: called
+// when it dispatches into a wave or finishes while queued. Idempotent;
+// callers hold s.mu.
+func (s *Server) dequeueLocked(h *Handle) {
+	if !h.queued {
+		return
+	}
+	h.queued = false
+	s.queuedReqs--
+	s.queuedTokens -= h.qtokens
 }
 
 // Close stops admission, serves every request already submitted, shuts
@@ -437,7 +584,11 @@ func (s *Server) Stats() ServerStats {
 		SLORequests:     a.sloRequests, SLOMet: a.sloMet,
 		SLOMissTTFT: a.sloMissTTFT, SLOMissTPOT: a.sloMissTPOT,
 		MaxDeferrals: a.maxDeferrals,
-		HtoDBytes:    a.htod, DtoHBytes: a.dtoh, PagesMoved: a.pages,
+		Shed:         a.shed, DeadlineDropped: a.deadlineDropped,
+		WaveTimeouts: a.waveTimeouts, KVLeaks: a.kvLeaks,
+		FaultRetries: a.faultRetries, FaultFailures: a.faultFailures,
+		QueuedRequests: s.queuedReqs, QueuedTokens: s.queuedTokens,
+		HtoDBytes: a.htod, DtoHBytes: a.dtoh, PagesMoved: a.pages,
 		WeightBytesFetched: a.weightBytes,
 		ExpertHits:         a.expHits, ExpertMisses: a.expMisses,
 	}
@@ -503,12 +654,27 @@ func (s *Server) loop() {
 				more = false
 			}
 		}
-		// Reap requests canceled while still queued.
+		// Reap requests canceled — or already past their TTFT deadline —
+		// while still queued. Deadline enforcement at the wave boundary
+		// fails a request BEFORE any prefill is wasted on it: a request
+		// whose TTFT budget expired in the queue cannot meet it no matter
+		// what the wave does.
 		var live []*Handle
+		now := time.Now()
 		for _, h := range pending {
 			if h.canceled() {
 				s.finalize(h, ErrCanceled)
 				continue
+			}
+			if s.cfg.EnforceDeadlines && h.slo.TTFT > 0 {
+				if waited := now.Sub(h.submitted); waited > h.slo.TTFT {
+					s.mu.Lock()
+					s.stats.deadlineDropped++
+					s.mu.Unlock()
+					s.finalize(h, fmt.Errorf("engine: request %d: TTFT deadline (%v) passed after %v in queue: %w",
+						h.req.ID, h.slo.TTFT, waited.Round(time.Microsecond), ErrDeadlineExceeded))
+					continue
+				}
 			}
 			live = append(live, h)
 		}
@@ -553,6 +719,15 @@ func (s *Server) loop() {
 // handle set for the next wave's no-progress comparison. Every handle
 // it does not return is finished (completed, canceled or failed).
 func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([]*Handle, map[*Handle]struct{}) {
+	s.mu.Lock()
+	broken := s.broken
+	s.mu.Unlock()
+	if broken != nil {
+		// A wedged wave already abandoned the arenas: no further wave can
+		// run. Fail everything still pending with the watchdog's error.
+		s.failAll(pending, broken)
+		return nil, nil
+	}
 	var mbs []batching.MicroBatch
 	var abortedReqs []workload.Request
 	var err error
@@ -589,8 +764,7 @@ func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([
 		return nil, nil
 	}
 	if len(mbs) == 0 {
-		s.failAll(pending, fmt.Errorf("engine: %d requests cannot fit any micro-batch (first prompt %d tokens)",
-			len(aborted), aborted[0].PromptLen))
+		s.failAll(pending, fmt.Errorf("engine: no request fits any micro-batch: %s", s.describeHandles(pending)))
 		return nil, nil
 	}
 
@@ -636,7 +810,7 @@ func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([
 	// them instead of deferring forever.
 	var nextAborted map[*Handle]struct{}
 	if sameHandleSet(deferred, prevAborted) {
-		s.failAll(deferred, fmt.Errorf("%w: %d requests", ErrNoProgress, len(deferred)))
+		s.failAll(deferred, fmt.Errorf("%w: %s", ErrNoProgress, s.describeHandles(deferred)))
 		deferred = nil
 	} else if len(deferred) > 0 {
 		nextAborted = make(map[*Handle]struct{}, len(deferred))
@@ -653,6 +827,11 @@ func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([
 
 	s.mu.Lock()
 	waveNum := s.stats.waves + 1
+	// The wave's handles leave the queue bounds now — they occupy wave
+	// capacity, not queue capacity. Deferred handles stay counted.
+	for _, h := range wave {
+		s.dequeueLocked(h)
+	}
 	s.mu.Unlock()
 	start := time.Now()
 	s.gpu.Reset()
@@ -666,6 +845,7 @@ func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([
 		PrefillChunk:         s.cfg.PrefillChunk,
 		SharedPrefix:         s.cfg.SharedPrefixKV,
 		ExpertResidencyBytes: s.cfg.ExpertResidencyBytes,
+		Faults:               s.cfg.Faults,
 	})
 	if err != nil {
 		werr := fmt.Errorf("engine: wave %d: %w", waveNum, err)
@@ -676,10 +856,99 @@ func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([
 	sink := func(seq, index, token int) { wave[seq].push(index, token) }
 	stop := func(seq, emitted int) bool {
 		h := wave[seq]
-		return h.canceled() || emitted >= h.genLen
+		if h.canceled() || emitted >= h.genLen {
+			return true
+		}
+		// TPOT guard: once the time already spent decoding exceeds the
+		// request's whole TPOT budget for its full generation, no pace of
+		// remaining steps can recover it — retire the sequence through the
+		// normal stop path (its KV blocks free, survivors bit-identical)
+		// instead of burning wave capacity on a blown deadline.
+		if s.cfg.TPOTGuard && h.slo.TPOT > 0 && emitted >= 2 {
+			h.mu.Lock()
+			hopeless := h.lastTok.Sub(h.firstTok) > h.slo.TPOT*time.Duration(h.genLen-1)
+			if hopeless {
+				h.tpotHopeless = true
+			}
+			h.mu.Unlock()
+			return hopeless
+		}
+		return false
 	}
-	tokens, gerr := pl.GenerateStream(prompts, s.cfg.GenLen, sink, stop)
+
+	// The wave runs under a watchdog: GenerateStream executes in its own
+	// goroutine so a stall (a stuck fetch, a wedged kernel) cannot hang
+	// the admission loop — and Close() with it — forever.
+	type waveResult struct {
+		tokens [][]int
+		err    error
+	}
+	resCh := make(chan waveResult, 1)
+	go func() {
+		toks, gerr := pl.GenerateStream(prompts, s.cfg.GenLen, sink, stop)
+		resCh <- waveResult{toks, gerr}
+	}()
+	var res waveResult
+	if s.cfg.WaveTimeout > 0 {
+		timer := time.NewTimer(s.cfg.WaveTimeout)
+		select {
+		case res = <-resCh:
+			timer.Stop()
+		case <-timer.C:
+			// Phase 1: cooperative abort. The pipeline checks the abort at
+			// decode-step and prefill-layer boundaries (and mid-stall), so
+			// a slow-but-alive wave returns promptly with the abort error.
+			werr := fmt.Errorf("engine: wave %d exceeded the %v watchdog: %w",
+				waveNum, s.cfg.WaveTimeout, ErrWaveStalled)
+			pl.Abort(werr)
+			grace := time.NewTimer(s.cfg.WaveTimeout + time.Second)
+			select {
+			case res = <-resCh:
+				grace.Stop()
+				if res.err == nil {
+					res.err = werr
+				}
+				s.mu.Lock()
+				s.stats.waveTimeouts++
+				s.mu.Unlock()
+			case <-grace.C:
+				// Phase 2: the wave ignored the abort — it is wedged INSIDE
+				// a step. Abandon the pipeline goroutine (pl.Close would
+				// block on its lanes) and mark the server broken: the
+				// arenas belong to the wedged wave, so later submits and
+				// waves fail fast instead of hanging. finish() and the
+				// push() guard keep the abandoned goroutine from touching
+				// the failed handles if it ever unwedges.
+				s.mu.Lock()
+				s.stats.waveTimeouts++
+				s.broken = werr
+				if s.firstErr == nil {
+					s.firstErr = werr
+				}
+				s.mu.Unlock()
+				s.failAll(wave, werr)
+				s.failAll(deferred, werr)
+				return nil, nil
+			}
+		}
+	} else {
+		res = <-resCh
+	}
+	tokens, gerr := res.tokens, res.err
 	pl.Close() // drains the lanes and the expert prefetcher first, so the counters below are final
+
+	// End-of-wave KV audit: every sequence must have released its blocks
+	// (completion, retirement and the abort path all do; ReleaseAll is a
+	// no-op then). A leak would silently shrink every later wave.
+	pl.ReleaseAll()
+	if lerr := pl.KVIdle(); lerr != nil {
+		s.mu.Lock()
+		s.stats.kvLeaks++
+		if s.firstErr == nil {
+			s.firstErr = fmt.Errorf("engine: wave %d: %w", waveNum, lerr)
+		}
+		s.mu.Unlock()
+	}
 	s.mu.Lock()
 	s.stats.htod += pl.Counters.HtoDBytes.Load()
 	s.stats.dtoh += pl.Counters.DtoHBytes.Load()
@@ -687,6 +956,8 @@ func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([
 	s.stats.weightBytes += pl.Counters.ExpertPaging.BytesFetched.Load()
 	s.stats.expHits += pl.Counters.ExpertPaging.Hits.Load()
 	s.stats.expMisses += pl.Counters.ExpertPaging.Misses.Load()
+	s.stats.faultRetries += pl.Counters.ExpertPaging.FetchRetries.Load()
+	s.stats.faultFailures += pl.Counters.ExpertPaging.FetchFailures.Load()
 	s.stats.prefillTokens += pl.PrefillTokens
 	s.stats.prefixHitTokens += int(pl.Counters.PrefixHitTokens.Load())
 	s.stats.cowCopies += pl.Counters.CowCopies.Load()
@@ -699,13 +970,22 @@ func (s *Server) runWave(pending []*Handle, prevAborted map[*Handle]struct{}) ([
 		return nil, nil
 	}
 	for i, h := range wave {
+		h.mu.Lock()
+		hopeless := h.tpotHopeless
+		h.mu.Unlock()
 		switch {
 		case pl.SeqErr(i) != nil:
-			// Request-scoped failure: the sequence hit KV-pool
-			// exhaustion mid-decode and was retired (its blocks went
-			// back to the survivors), so only this request fails; the
+			// Request-scoped failure: the sequence hit KV-pool exhaustion
+			// or an unrecoverable expert fetch and was retired (its blocks
+			// went back to the survivors), so only this request fails; the
 			// wave and its other requests are unaffected.
 			s.finalize(h, fmt.Errorf("engine: wave %d: request %d: %w", waveNum, h.req.ID, pl.SeqErr(i)))
+		case hopeless:
+			s.mu.Lock()
+			s.stats.deadlineDropped++
+			s.mu.Unlock()
+			s.finalize(h, fmt.Errorf("engine: request %d: TPOT budget (%v) irrecoverable after %d tokens: %w",
+				h.req.ID, h.slo.TPOT, len(tokens[i]), ErrDeadlineExceeded))
 		case len(tokens[i]) < h.genLen && h.canceled():
 			s.finalize(h, ErrCanceled)
 		default:
@@ -735,6 +1015,7 @@ func (s *Server) finalize(h *Handle, err error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.dequeueLocked(h)
 	canceled := false
 	switch {
 	case err == nil:

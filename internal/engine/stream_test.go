@@ -66,6 +66,7 @@ func TestGenerateStreamEmitsIncrementally(t *testing.T) {
 		t.Errorf("first token emitted at cache len %d, want prompt len %d (final %d)",
 			cacheLenAtFirst, len(prompts[events[0].seq]), finalLen)
 	}
+	assertKVIdle(t, pl)
 }
 
 // TestStopRetiresSequenceAndFreesKV: stopping one sequence
@@ -119,6 +120,7 @@ func TestStopRetiresSequenceAndFreesKV(t *testing.T) {
 	if free := pl.cache.FreeBlocks(); free == 0 {
 		t.Error("retirement returned no KV blocks to the pool")
 	}
+	assertKVIdle(t, pl)
 }
 
 // TestServerAdmitsAcrossWaves: the open-queue server serves requests
@@ -187,6 +189,9 @@ func TestServerAdmitsAcrossWaves(t *testing.T) {
 	}
 	if st.GeneratedTokens != len(queue)*genLen || st.TokensPerSecond <= 0 {
 		t.Errorf("token accounting: %+v", st)
+	}
+	if st.KVLeaks != 0 {
+		t.Errorf("end-of-wave KV audit found %d leaking waves", st.KVLeaks)
 	}
 }
 

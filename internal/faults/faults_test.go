@@ -1,0 +1,128 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if err := inj.ExpertFetch(); err != nil {
+		t.Fatalf("nil ExpertFetch: %v", err)
+	}
+	if err := inj.KVAlloc(); err != nil {
+		t.Fatalf("nil KVAlloc: %v", err)
+	}
+	inj.Stall(nil) // must not block or panic
+	if st := inj.Stats(); st != (Stats{}) {
+		t.Fatalf("nil Stats = %+v", st)
+	}
+}
+
+func TestExpertFetchDeterminism(t *testing.T) {
+	run := func() []bool {
+		inj := New(Config{Seed: 42, ExpertFetchRate: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = inj.ExpertFetch() != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d differs between equal-seed runs", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("rate 0.3 fired %d of %d trials", fired, len(a))
+	}
+}
+
+func TestExpertFetchBurstAndMax(t *testing.T) {
+	inj := New(Config{Seed: 1, ExpertFetchRate: 1, ExpertFetchBurst: 2, ExpertFetchMax: 3})
+	var got []bool
+	for i := 0; i < 6; i++ {
+		got = append(got, errors.Is(inj.ExpertFetch(), ErrInjected))
+	}
+	want := []bool{true, true, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trial %d: fired=%v want %v (%v)", i, got[i], want[i], got)
+		}
+	}
+	if st := inj.Stats(); st.ExpertFetchFaults != 3 || st.ExpertFetchTrials != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestKVAllocFailAt(t *testing.T) {
+	inj := New(Config{KVAllocFailAt: []int{2, 5}})
+	for n := 1; n <= 6; n++ {
+		err := inj.KVAlloc()
+		want := n == 2 || n == 5
+		if (err != nil) != want {
+			t.Fatalf("alloc %d: err=%v want fired=%v", n, err, want)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("alloc %d: %v not ErrInjected", n, err)
+		}
+	}
+	if st := inj.Stats(); st.KVAllocFaults != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStallGateAndAbort(t *testing.T) {
+	gate := make(chan struct{})
+	stalled := make(chan struct{}, 8)
+	inj := New(Config{StallEvery: 2, Gate: gate, OnStall: func() { stalled <- struct{}{} }})
+
+	inj.Stall(nil) // point 1: no fire
+	done := make(chan struct{})
+	go func() {
+		inj.Stall(nil) // point 2: fires, blocks on gate
+		close(done)
+	}()
+	<-stalled
+	select {
+	case <-done:
+		t.Fatal("stall returned before gate closed")
+	case <-time.After(10 * time.Millisecond):
+	}
+	close(gate)
+	<-done
+
+	// Abort interrupts a fired stall even with the gate replaced by a
+	// never-closing one.
+	inj2 := New(Config{StallEvery: 1, Gate: make(chan struct{})})
+	abort := make(chan struct{})
+	done2 := make(chan struct{})
+	go func() {
+		inj2.Stall(abort)
+		close(done2)
+	}()
+	close(abort)
+	select {
+	case <-done2:
+	case <-time.After(time.Second):
+		t.Fatal("abort did not interrupt the stall")
+	}
+	if st := inj.Stats(); st.Stalls != 1 || st.StallPoints != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStallForDuration(t *testing.T) {
+	inj := New(Config{StallEvery: 1, StallFor: 5 * time.Millisecond})
+	start := time.Now()
+	inj.Stall(nil)
+	if d := time.Since(start); d < 4*time.Millisecond {
+		t.Fatalf("stall returned after %v, want >= ~5ms", d)
+	}
+}

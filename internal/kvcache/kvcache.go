@@ -142,6 +142,13 @@ type Cache struct {
 	// removed when the block is freed or written.
 	prefix    map[prefixKey]*block
 	cowCopies int64
+
+	// allocHook, when set, is consulted before every physical block
+	// allocation; a non-nil return forces the allocation to fail as if
+	// the pool were exhausted (the ErrOutOfBlocks machinery upstream
+	// handles it). Fault injection uses it to exercise exhaustion on a
+	// chosen allocation without filling the pool.
+	allocHook func() error
 }
 
 type seqLayer struct{ seq, layer int }
@@ -238,6 +245,9 @@ func New(arena *memory.Arena, layers, kvDim, blockTokens, capacityTokens int, dt
 func (c *Cache) takeBlock() *block {
 	if len(c.pool) == 0 {
 		return nil
+	}
+	if c.allocHook != nil && c.allocHook() != nil {
+		return nil // forced exhaustion: same path as an empty pool
 	}
 	b := c.pool[len(c.pool)-1]
 	c.pool = c.pool[:len(c.pool)-1]
@@ -496,6 +506,39 @@ func (c *Cache) UsedBlocks() int { return c.numBlocks - len(c.pool) }
 // CowCopies returns the cumulative number of copy-on-write block
 // copies performed since the cache was built.
 func (c *Cache) CowCopies() int64 { return c.cowCopies }
+
+// SetAllocHook installs (or, with nil, removes) the forced-failure
+// hook consulted on every physical block allocation: a non-nil return
+// makes that allocation fail exactly like pool exhaustion. Call it
+// before serving traffic; the hook runs on whichever goroutine
+// allocates.
+func (c *Cache) SetAllocHook(hook func() error) { c.allocHook = hook }
+
+// CheckIdle verifies the cache has returned to its freshly-built
+// state: every physical block back in the free pool with zero
+// references, no live sequence streams, and an empty prefix index. It
+// reports the first discrepancy — a leaked (or double-freed) block, a
+// stale stream, a dangling index entry — so serving tests can assert
+// leak-freedom after a drain.
+func (c *Cache) CheckIdle() error {
+	if len(c.pool) != c.numBlocks {
+		return fmt.Errorf("kvcache: %d of %d blocks leaked (%d free)",
+			c.numBlocks-len(c.pool), c.numBlocks, len(c.pool))
+	}
+	for i, b := range c.pool {
+		if b.refs != 0 {
+			return fmt.Errorf("kvcache: pooled block %d carries %d live refs", i, b.refs)
+		}
+	}
+	if len(c.blocks) != 0 || len(c.length) != 0 {
+		return fmt.Errorf("kvcache: %d block streams / %d lengths survive with an empty pool outstanding",
+			len(c.blocks), len(c.length))
+	}
+	if len(c.prefix) != 0 {
+		return fmt.Errorf("kvcache: %d prefix-index entries dangle after all blocks freed", len(c.prefix))
+	}
+	return nil
+}
 
 // IndexPrefix registers sequence seq's full blocks at one layer in the
 // prefix index under the chain hash of tokens (the sequence's prompt).

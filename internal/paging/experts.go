@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"moelightning/internal/memory"
 )
@@ -33,6 +34,10 @@ type Stats struct {
 	// fetch, demand or prefetch (each block moves CPU -> pinned -> fast
 	// memory once per fetch; the bytes are counted once).
 	BytesFetched atomic.Int64
+	// FetchRetries counts fetch attempts that failed transiently and
+	// were retried (with capped exponential backoff); FetchFailures
+	// counts fetches abandoned after exhausting the retry budget.
+	FetchRetries, FetchFailures atomic.Int64
 }
 
 // Source resolves a key to the block's CPU home region. It must be safe
@@ -48,6 +53,7 @@ type expertEntry struct {
 	refs    int           // pins by in-flight kernels
 	freq    int64         // lifetime acquire count (frequency)
 	tick    int64         // last-touch tick (recency)
+	err     error         // terminal fetch failure, set before ready closes
 }
 
 // ExpertPager keeps a fixed-size resident set of expert weight blocks
@@ -74,6 +80,11 @@ type ExpertPager struct {
 	entries map[ExpertKey]*expertEntry
 	free    []int
 	tick    int64
+
+	// fault, when set, is consulted inside every fetch attempt; a
+	// non-nil return fails that attempt (fetch retries with backoff
+	// before giving up). Install it before serving traffic.
+	fault func() error
 
 	prefetchCh chan ExpertKey
 	closeOnce  sync.Once
@@ -130,12 +141,28 @@ func (p *ExpertPager) Close() {
 	})
 }
 
+// SetFetchFault installs (or, with nil, removes) a fault hook
+// consulted inside every fetch attempt: a non-nil return fails that
+// attempt, and fetch retries with capped exponential backoff before
+// abandoning the fetch. Install it before the first Acquire/Prefetch;
+// the hook must be safe to call from the prefetch worker concurrently
+// with compute.
+func (p *ExpertPager) SetFetchFault(hook func() error) {
+	p.mu.Lock()
+	p.fault = hook
+	p.mu.Unlock()
+}
+
 // Acquire returns expert k's weight block in fast memory, pinned
 // against eviction until the matching Release. A resident (or
 // in-flight) block is a warm hit; a cold block demand-fetches
 // synchronously on the calling goroutine — the fallback that keeps
-// output bit-identical for any residency size.
-func (p *ExpertPager) Acquire(k ExpertKey) []float32 {
+// output bit-identical for any residency size. A fetch that fails past
+// the retry budget returns the fetch error: the failed entry is
+// dropped and its slot freed, so a later Acquire of the same key
+// retries from scratch (a transient outage heals; only the sequences
+// routed to the expert during the outage are affected).
+func (p *ExpertPager) Acquire(k ExpertKey) ([]float32, error) {
 	p.mu.Lock()
 	p.tick++
 	for {
@@ -148,8 +175,13 @@ func (p *ExpertPager) Acquire(k ExpertKey) []float32 {
 			p.mu.Unlock()
 			if loading {
 				<-ready
+				// e.err is written before ready closes; the close is the
+				// happens-before edge that makes this lock-free read safe.
+				if e.err != nil {
+					return nil, e.err
+				}
 			}
-			return p.slots[slot].Data()
+			return p.slots[slot].Data(), nil
 		}
 		slot, ok := p.takeSlotLocked()
 		if !ok {
@@ -169,14 +201,30 @@ func (p *ExpertPager) Acquire(k ExpertKey) []float32 {
 		p.stats.Misses.Add(1)
 		p.mu.Unlock()
 
-		p.fetch(k, slot)
+		err := p.fetch(k, slot)
 
 		p.mu.Lock()
+		if err != nil {
+			p.dropFailedLocked(k, e, err)
+			p.mu.Unlock()
+			return nil, err
+		}
 		e.loading = false
 		close(e.ready)
 		p.mu.Unlock()
-		return p.slots[slot].Data()
+		return p.slots[slot].Data(), nil
 	}
+}
+
+// dropFailedLocked unwinds a failed fetch: the entry leaves the table,
+// its slot returns to the free list, and waiters blocked on ready see
+// the error (written before the close). Callers hold p.mu.
+func (p *ExpertPager) dropFailedLocked(k ExpertKey, e *expertEntry, err error) {
+	e.err = err
+	e.loading = false
+	delete(p.entries, k)
+	p.free = append(p.free, e.slot)
+	close(e.ready)
 }
 
 // Release unpins a block acquired with Acquire.
@@ -232,23 +280,65 @@ func (p *ExpertPager) worker() {
 		p.entries[k] = e
 		p.mu.Unlock()
 
-		p.fetch(k, slot)
-		p.stats.Prefetched.Add(1)
+		err := p.fetch(k, slot)
 
 		p.mu.Lock()
+		if err != nil {
+			// Best-effort path: drop the entry and move on; a routed-to
+			// miss will demand-fetch (and surface the error) if the fault
+			// persists.
+			p.dropFailedLocked(k, e, err)
+			p.mu.Unlock()
+			continue
+		}
+		p.stats.Prefetched.Add(1)
 		e.loading = false
 		close(e.ready)
 		p.mu.Unlock()
 	}
 }
 
+// Fetch retry policy: a transiently failing fetch attempt (per the
+// fault hook) is retried up to fetchRetryLimit times with exponential
+// backoff from fetchBackoffBase capped at fetchBackoffCap. The budget
+// is deliberately tight — a fetch sits on the decode critical path.
+const (
+	fetchRetryLimit  = 4
+	fetchBackoffBase = 50 * time.Microsecond
+	fetchBackoffCap  = 400 * time.Microsecond
+)
+
 // fetch stages block k into slot through the slot's pinned staging.
 // The slot was claimed by this fetch alone, so no lock is held across
-// the copies.
-func (p *ExpertPager) fetch(k ExpertKey, slot int) {
-	memory.Copy(p.staging[slot], p.src(k))
-	memory.Copy(p.slots[slot], p.staging[slot])
-	p.stats.BytesFetched.Add(4 * int64(p.floats))
+// the copies. Injected (or real) per-attempt failures retry with
+// capped exponential backoff; exhausting the budget abandons the
+// fetch with an error naming the block.
+func (p *ExpertPager) fetch(k ExpertKey, slot int) error {
+	p.mu.Lock()
+	fault := p.fault
+	p.mu.Unlock()
+	backoff := fetchBackoffBase
+	for attempt := 0; ; attempt++ {
+		if fault != nil {
+			if err := fault(); err != nil {
+				if attempt >= fetchRetryLimit {
+					p.stats.FetchFailures.Add(1)
+					return fmt.Errorf("paging: expert block (layer %d, expert %d): fetch failed after %d retries: %w",
+						k.Layer, k.Expert, fetchRetryLimit, err)
+				}
+				p.stats.FetchRetries.Add(1)
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > fetchBackoffCap {
+					backoff = fetchBackoffCap
+				}
+				continue
+			}
+		}
+		memory.Copy(p.staging[slot], p.src(k))
+		memory.Copy(p.slots[slot], p.staging[slot])
+		p.stats.BytesFetched.Add(4 * int64(p.floats))
+		return nil
+	}
 }
 
 // takeSlotLocked claims a slot: a free one if any, else the unpinned

@@ -44,6 +44,17 @@ func checkBlock(t *testing.T, k ExpertKey, data []float32) {
 	}
 }
 
+// mustAcquire is Acquire for the fault-free tests: any fetch error is
+// fatal.
+func mustAcquire(t *testing.T, p *ExpertPager, k ExpertKey) []float32 {
+	t.Helper()
+	data, err := p.Acquire(k)
+	if err != nil {
+		t.Fatalf("Acquire(%v): %v", k, err)
+	}
+	return data
+}
+
 func newTestPager(t testing.TB, floats, slots int, src Source, stats *Stats) *ExpertPager {
 	t.Helper()
 	fast := memory.NewArena("fast", slots*floats)
@@ -62,12 +73,12 @@ func TestExpertPagerDemandFetchThenHit(t *testing.T) {
 	p := newTestPager(t, 32, 3, src, &stats)
 
 	k := ExpertKey{Layer: 1, Expert: 2}
-	checkBlock(t, k, p.Acquire(k))
+	checkBlock(t, k, mustAcquire(t, p, k))
 	p.Release(k)
 	if got := stats.Misses.Load(); got != 1 {
 		t.Fatalf("misses = %d, want 1", got)
 	}
-	checkBlock(t, k, p.Acquire(k))
+	checkBlock(t, k, mustAcquire(t, p, k))
 	p.Release(k)
 	if got := stats.Hits.Load(); got != 1 {
 		t.Fatalf("hits = %d, want 1", got)
@@ -85,16 +96,16 @@ func TestExpertPagerEvictsColdKeepsHot(t *testing.T) {
 	hot := ExpertKey{Expert: 0}
 	// Make hot genuinely hot: three acquires.
 	for i := 0; i < 3; i++ {
-		checkBlock(t, hot, p.Acquire(hot))
+		checkBlock(t, hot, mustAcquire(t, p, hot))
 		p.Release(hot)
 	}
 	cold := ExpertKey{Expert: 1}
-	checkBlock(t, cold, p.Acquire(cold))
+	checkBlock(t, cold, mustAcquire(t, p, cold))
 	p.Release(cold)
 
 	// A third block must evict, and the victim must be the cold one.
 	third := ExpertKey{Expert: 2}
-	checkBlock(t, third, p.Acquire(third))
+	checkBlock(t, third, mustAcquire(t, p, third))
 	p.Release(third)
 	if stats.Evicted.Load() != 1 {
 		t.Fatalf("evicted = %d, want 1", stats.Evicted.Load())
@@ -106,7 +117,7 @@ func TestExpertPagerEvictsColdKeepsHot(t *testing.T) {
 		t.Fatal("cold block survived over the hot one")
 	}
 	// The evicted block is still correct when it comes back (demand path).
-	checkBlock(t, cold, p.Acquire(cold))
+	checkBlock(t, cold, mustAcquire(t, p, cold))
 	p.Release(cold)
 }
 
@@ -115,13 +126,13 @@ func TestExpertPagerPinnedBlocksSurviveEviction(t *testing.T) {
 	p := newTestPager(t, 16, 2, src, nil)
 
 	pinnedKey := ExpertKey{Expert: 0}
-	data := p.Acquire(pinnedKey) // hold the pin across churn
+	data := mustAcquire(t, p, pinnedKey) // hold the pin across churn
 
 	// Churn the other slot through several blocks; the pinned block's
 	// slot must never be reused while the ref is held.
 	for e := 1; e < 6; e++ {
 		k := ExpertKey{Expert: e}
-		checkBlock(t, k, p.Acquire(k))
+		checkBlock(t, k, mustAcquire(t, p, k))
 		p.Release(k)
 		checkBlock(t, pinnedKey, data)
 	}
@@ -148,7 +159,7 @@ func TestExpertPagerPrefetchBecomesHit(t *testing.T) {
 		t.Fatalf("prefetched = %d, want %d", got, len(keys))
 	}
 	for _, k := range keys {
-		checkBlock(t, k, p.Acquire(k))
+		checkBlock(t, k, mustAcquire(t, p, k))
 		p.Release(k)
 	}
 	if got := stats.Misses.Load(); got != 0 {
@@ -182,7 +193,14 @@ func TestExpertPagerConcurrent(t *testing.T) {
 				if rng.Intn(4) == 0 {
 					p.Prefetch(ExpertKey{Layer: rng.Intn(nLayers), Expert: rng.Intn(nExperts)})
 				}
-				data := p.Acquire(k)
+				data, err := p.Acquire(k)
+				if err != nil {
+					select {
+					case errs <- "unexpected fetch error under concurrency":
+					default:
+					}
+					continue
+				}
 				for j, v := range data {
 					if v != signature(k, j) {
 						select {

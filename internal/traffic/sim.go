@@ -40,6 +40,11 @@ type SimConfig struct {
 	// magnitudes matter for policy comparison.
 	PerPromptToken time.Duration
 	PerDecodeStep  time.Duration
+	// MaxQueuedRequests mirrors the live server's overload control: an
+	// arrival finding this many requests already pending is shed at
+	// admission (never queued, a TTFT miss if it carried an SLO).
+	// <= 0 disables the bound.
+	MaxQueuedRequests int
 }
 
 // SimWave is one simulated wave boundary.
@@ -64,6 +69,9 @@ type SimReport struct {
 	// Dropped lists requests failed by the no-progress guard (they
 	// could not fit any wave two boundaries running).
 	Dropped []int
+	// Shed lists requests rejected by overload control at arrival (the
+	// live server's ErrOverloaded): never queued, never admitted.
+	Shed []int
 }
 
 // SimulateAdmission replays a trace through the engine's actual
@@ -115,6 +123,7 @@ func SimulateAdmission(trace Trace, cfg SimConfig) (SimReport, error) {
 		arrival[ev.Request.ID] = ev
 	}
 	dropped := make(map[int]bool)
+	shed := make(map[int]bool)
 
 	next := 0 // first event not yet arrived
 	var pending []Event
@@ -128,8 +137,17 @@ func SimulateAdmission(trace Trace, cfg SimConfig) (SimReport, error) {
 			clock = trace.Events[next].At
 		}
 		for next < len(trace.Events) && trace.Events[next].At <= clock {
-			pending = append(pending, trace.Events[next])
+			ev := trace.Events[next]
 			next++
+			// Overload control at arrival, exactly where the live server
+			// sheds: a full queue fails the request fast instead of letting
+			// it age toward a blown deadline.
+			if cfg.MaxQueuedRequests > 0 && len(pending) >= cfg.MaxQueuedRequests {
+				shed[ev.Request.ID] = true
+				rep.Shed = append(rep.Shed, ev.Request.ID)
+				continue
+			}
+			pending = append(pending, ev)
 		}
 
 		// Order the queue and run the engine's placement loop.
@@ -234,7 +252,7 @@ func SimulateAdmission(trace Trace, cfg SimConfig) (SimReport, error) {
 		}
 		rep.SLORequests++
 		ttft, admitted := rep.TTFT[ev.Request.ID]
-		missTTFT := !admitted || dropped[ev.Request.ID] ||
+		missTTFT := !admitted || dropped[ev.Request.ID] || shed[ev.Request.ID] ||
 			(ev.SLO.TTFT > 0 && ttft > ev.SLO.TTFT)
 		missTPOT := ev.SLO.TPOT > 0 && ev.Request.GenLen > 1 && perStep > ev.SLO.TPOT
 		if missTTFT {

@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"reflect"
+	"sort"
 	"testing"
 	"time"
 
@@ -159,5 +160,80 @@ func TestSimMatchesEngineOrdering(t *testing.T) {
 	}
 	if len(rep.Waves) == 0 || len(rep.Waves[0].Admitted) == 0 || rep.Waves[0].Admitted[0] != 2 {
 		t.Fatalf("first simulated admit %v, want request 2", rep.Waves)
+	}
+}
+
+// p95TTFT is the 95th-percentile TTFT over a report's admitted
+// requests (sorted nearest-rank on the deterministic simulated values).
+func p95TTFT(t *testing.T, rep SimReport) time.Duration {
+	t.Helper()
+	if len(rep.TTFT) == 0 {
+		t.Fatal("no admitted requests to take a percentile over")
+	}
+	vals := make([]time.Duration, 0, len(rep.TTFT))
+	for _, d := range rep.TTFT {
+		vals = append(vals, d)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals[int(0.95*float64(len(vals)-1))]
+}
+
+// TestSimOverloadShedBoundsAdmittedTTFT is the overload-control
+// acceptance criterion on the deterministic virtual clock: at 2x the
+// knee arrival rate, a MaxQueuedRequests bound sheds load — and the
+// requests it does admit keep a p95 TTFT within 3x of the at-knee p95,
+// where the unbounded queue lets admitted latency grow without limit.
+func TestSimOverloadShedBoundsAdmittedTTFT(t *testing.T) {
+	// PerDecodeStep 10ms puts the 2x2 wave's service rate at the bursty
+	// mix's knee for kneeRPS (same calibration as the slack-vs-FIFO
+	// test); doubling the arrival rate is then genuine 2x overload.
+	const kneeRPS, n = 15, 150
+	step := 10 * time.Millisecond
+	atKnee, err := BurstyMix(kneeRPS, n).Generate(2024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overload, err := BurstyMix(2*kneeRPS, n).Generate(2024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := SimConfig{Batch: simBatch(), Policy: PolicySlack, PerDecodeStep: step}
+	knee, err := SimulateAdmission(atKnee, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded := base
+	bounded.MaxQueuedRequests = 8
+	shedding, err := SimulateAdmission(overload, bounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbounded, err := SimulateAdmission(overload, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(shedding.Shed) == 0 {
+		t.Fatal("2x-knee load with a bounded queue shed nothing")
+	}
+	if len(unbounded.Shed) != 0 {
+		t.Fatalf("unbounded queue shed %d requests", len(unbounded.Shed))
+	}
+	// Every request is accounted for: admitted, shed, or dropped by the
+	// no-progress guard.
+	if got := len(shedding.TTFT) + len(shedding.Shed) + len(shedding.Dropped); got != n {
+		t.Errorf("dispositions leak: %d admitted + %d shed + %d dropped != %d",
+			len(shedding.TTFT), len(shedding.Shed), len(shedding.Dropped), n)
+	}
+	pKnee := p95TTFT(t, knee)
+	pShed := p95TTFT(t, shedding)
+	pOpen := p95TTFT(t, unbounded)
+	t.Logf("p95 TTFT: at knee %v, 2x bounded %v (%d shed), 2x unbounded %v",
+		pKnee, pShed, len(shedding.Shed), pOpen)
+	if pShed > 3*pKnee {
+		t.Errorf("bounded-queue admitted p95 TTFT %v exceeds 3x the at-knee p95 %v", pShed, pKnee)
+	}
+	if pShed >= pOpen {
+		t.Errorf("shedding did not improve admitted p95 TTFT: bounded %v, unbounded %v", pShed, pOpen)
 	}
 }

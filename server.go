@@ -3,8 +3,10 @@ package moelightning
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"moelightning/internal/engine"
+	"moelightning/internal/faults"
 	"moelightning/internal/kvcache"
 	"moelightning/internal/memory"
 )
@@ -30,7 +32,20 @@ type (
 	SLO = engine.SLO
 	// KVDtype selects the KV cache codec (KVFloat32 or KVInt8).
 	KVDtype = kvcache.DType
+	// FaultInjector is a deterministic, seeded fault injector threaded
+	// through the serving pipeline's expert fetches, KV block
+	// allocations and wave stalls (see internal/faults for the
+	// injection-point inventory). Build one with NewFaultInjector.
+	FaultInjector = faults.Injector
+	// FaultsConfig parameterizes a FaultInjector.
+	FaultsConfig = faults.Config
+	// FaultStats snapshots an injector's trial/fault counters.
+	FaultStats = faults.Stats
 )
+
+// NewFaultInjector builds a deterministic fault injector for
+// ServerConfig.Faults. A nil injector (the default) is inert.
+func NewFaultInjector(cfg FaultsConfig) *FaultInjector { return faults.New(cfg) }
 
 // KV cache codecs for ServerConfig.KVDtype.
 const (
@@ -57,6 +72,19 @@ var (
 	ErrCanceled = engine.ErrCanceled
 	// ErrServerClosed reports a Submit against a closed server.
 	ErrServerClosed = engine.ErrServerClosed
+	// ErrOverloaded reports a Submit rejected by overload control: the
+	// pending queue is at its configured bound (MaxQueuedRequests /
+	// MaxQueuedTokens, or the SLO-aware drain projection). The request
+	// was never admitted; fail fast and retry or re-route.
+	ErrOverloaded = engine.ErrOverloaded
+	// ErrDeadlineExceeded reports a request dropped by deadline
+	// enforcement: TTFT budget expired while queued, or the TPOT guard
+	// judged its decode pace irrecoverable.
+	ErrDeadlineExceeded = engine.ErrDeadlineExceeded
+	// ErrWaveStalled reports a wave that tripped the WaveTimeout
+	// watchdog; a wave that also ignores the cooperative abort marks the
+	// server broken and later submits fail fast with this error.
+	ErrWaveStalled = engine.ErrWaveStalled
 )
 
 // ServerConfig parameterizes a long-lived functional serving instance.
@@ -127,6 +155,29 @@ type ServerConfig struct {
 	// Output is bit-identical with sharing on or off; set
 	// SharedPrefixOff to spend the extra FLOPs and cache anyway.
 	SharedPrefixKV SharedPrefixMode
+	// MaxQueuedRequests / MaxQueuedTokens bound the admitted-but-not-
+	// yet-dispatched set: a Submit that would push past either bound
+	// fails fast with ErrOverloaded. <= 0 disables the bound.
+	MaxQueuedRequests int
+	MaxQueuedTokens   int
+	// SLOAwareShed sheds a submission (ErrOverloaded) when the queue's
+	// projected drain time — from the server's measured generation rate
+	// — already exceeds every TTFT budget the submission carries.
+	SLOAwareShed bool
+	// EnforceDeadlines fails queued requests whose TTFT budget expired
+	// before a wave picked them up (ErrDeadlineExceeded), sparing the
+	// prefill; TPOTGuard retires decoding sequences whose pace can no
+	// longer meet their TPOT budget, bit-identically for survivors.
+	EnforceDeadlines bool
+	TPOTGuard        bool
+	// WaveTimeout arms the wave watchdog (ErrWaveStalled): a stalled
+	// wave is cooperatively aborted, and a wedged one is abandoned so
+	// Close never hangs. 0 disables the watchdog.
+	WaveTimeout time.Duration
+	// Faults threads a deterministic fault injector (NewFaultInjector)
+	// through every wave's pipeline. Nil — the default — injects
+	// nothing and installs no hooks.
+	Faults *FaultInjector
 }
 
 // SharedPrefixMode selects whether the KV cache shares identical
@@ -226,6 +277,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		SLOAware:             cfg.SLOAware,
 		StarvationWaves:      cfg.StarvationWaves,
 		SharedPrefixKV:       cfg.SharedPrefixKV == SharedPrefixOn,
+		MaxQueuedRequests:    cfg.MaxQueuedRequests,
+		MaxQueuedTokens:      cfg.MaxQueuedTokens,
+		SLOAwareShed:         cfg.SLOAwareShed,
+		EnforceDeadlines:     cfg.EnforceDeadlines,
+		TPOTGuard:            cfg.TPOTGuard,
+		WaveTimeout:          cfg.WaveTimeout,
+		Faults:               cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
